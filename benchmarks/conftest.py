@@ -1,0 +1,38 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Every module regenerates one of the paper's tables or figures.  The
+timing measured by pytest-benchmark is the wall-clock of the full
+regeneration (profiling + selection + simulation); each regeneration
+also writes its data table to ``benchmarks/results/<name>.txt`` so the
+numbers are inspectable after a captured pytest run.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a regeneration exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] written to {path}\n{text}")

@@ -1,0 +1,45 @@
+"""Figure 5 (top): sensitivity to the idle energy factor.
+
+Sweeps the idle factor through 0%, 5% (default) and 10%.  The paper's
+observations this reproduces:
+
+- at 0% there are *no* E-p-threads (every EADVagg is negative without an
+  idle-energy lever), and latency p-threads are strongly sub-linear in
+  energy;
+- at 10%, latency reduction converts to energy reduction more
+  effectively: E/P p-threads can actively *reduce* energy.
+"""
+
+from conftest import write_report
+
+from repro.harness.figures import FIG5_IDLE_BENCHMARKS, figure5_idle
+from repro.harness.report import format_table
+
+
+def test_figure5_idle_energy_factor(run_once, results_dir):
+    rows = run_once(figure5_idle)
+    lines = ["== Figure 5 top: idle energy factor 0% / 5% / 10% =="]
+    lines.append(format_table(
+        rows,
+        columns=["idle_factor", "benchmark", "target", "n_pthreads",
+                 "speedup_pct", "energy_save_pct", "ed_save_pct"],
+    ))
+    write_report(results_dir, "fig5_idle_energy", "\n".join(lines))
+
+    def rows_for(factor, target):
+        return [
+            r for r in rows
+            if r["idle_factor"] == factor and r["target"] == target
+        ]
+
+    # 0% idle factor: E-p-thread selection must be empty everywhere.
+    for row in rows_for(0.0, "E"):
+        assert row["n_pthreads"] == 0, row
+
+    # Energy characteristics of L-p-threads improve monotonically with
+    # the idle factor on average.
+    def mean_energy(factor):
+        matching = rows_for(factor, "L")
+        return sum(r["energy_save_pct"] for r in matching) / len(matching)
+
+    assert mean_energy(0.0) <= mean_energy(0.05) <= mean_energy(0.10)

@@ -1,0 +1,46 @@
+"""Figure 5 (bottom): sensitivity to L2 cache size and latency.
+
+Sweeps the L2 through 128KB(10cy), 256KB(12cy, default) and 512KB(15cy).
+The paper: smaller L2s generally mean more misses and more latency (and
+energy) for pre-execution to recover -- but not monotonically for every
+benchmark (in the paper's mcf the extra p-thread traffic overwhelms the
+gain; our mcf is bandwidth-bound and stays flat).  Larger L2s also cost
+more energy per access (CACTI scaling).
+"""
+
+from conftest import write_report
+
+from repro.harness.figures import FIG5_L2_BENCHMARKS, figure5_l2_size
+from repro.harness.report import format_table
+
+
+def test_figure5_l2_size(run_once, results_dir):
+    rows = run_once(figure5_l2_size)
+    lines = ["== Figure 5 bottom: L2 128KB(10) / 256KB(12) / 512KB(15) =="]
+    lines.append(format_table(
+        rows,
+        columns=["l2_kb", "l2_latency", "benchmark", "target",
+                 "n_pthreads", "speedup_pct", "energy_save_pct",
+                 "ed_save_pct"],
+    ))
+    write_report(results_dir, "fig5_l2_size", "\n".join(lines))
+
+    # twolf/vortex: the dominant effect of a smaller L2 is more latency
+    # tolerated overall -> speedups at 128KB at least match 512KB.
+    def speedup(bench, kb):
+        return next(
+            r["speedup_pct"] for r in rows
+            if r["benchmark"] == bench and r["l2_kb"] == kb
+            and r["target"] == "L"
+        )
+
+    for bench in ("twolf", "vortex"):
+        assert speedup(bench, 128) >= speedup(bench, 512) - 3.0
+
+    # Selection responds to the configuration: at least one benchmark
+    # changes its p-thread count across L2 sizes.
+    counts = {
+        (r["benchmark"], r["l2_kb"]): r["n_pthreads"]
+        for r in rows if r["target"] == "L"
+    }
+    assert len(set(counts.values())) > 1

@@ -1,0 +1,57 @@
+"""Figure 5 (middle): sensitivity to memory latency.
+
+Sweeps memory latency through 100, 200 (default) and 300 cycles.  The
+paper: pre-execution's performance gains grow with memory latency (more
+latency to tolerate per load) but more slowly than the latency itself,
+and longer latencies are *relatively* more energy-efficient because they
+require induction unrolling -- a fixed, energy-cheap idiom -- rather than
+longer bodies.
+"""
+
+from conftest import write_report
+
+from repro.harness.figures import (
+    FIG5_MEMLAT_BENCHMARKS,
+    figure5_memory_latency,
+)
+from repro.harness.report import format_table
+
+
+def test_figure5_memory_latency(run_once, results_dir):
+    rows = run_once(figure5_memory_latency)
+    lines = ["== Figure 5 middle: memory latency 100 / 200 / 300 =="]
+    lines.append(format_table(
+        rows,
+        columns=["memory_latency", "benchmark", "target", "n_pthreads",
+                 "avg_pthread_length", "speedup_pct", "energy_save_pct",
+                 "ed_save_pct"],
+    ))
+    write_report(results_dir, "fig5_memory_latency", "\n".join(lines))
+
+    def mean_speedup(latency):
+        matching = [
+            r for r in rows
+            if r["memory_latency"] == latency and r["target"] == "L"
+        ]
+        return sum(r["speedup_pct"] for r in matching) / len(matching)
+
+    # Gains grow with memory latency...
+    assert mean_speedup(100) <= mean_speedup(200) + 2.0
+    assert mean_speedup(200) <= mean_speedup(300) + 2.0
+    # ...but sub-linearly: tripling the latency must not triple the gain.
+    if mean_speedup(100) > 1.0:
+        assert mean_speedup(300) < 3.0 * mean_speedup(100)
+
+    # P-thread length must not blow up with latency (induction unrolling
+    # is a fixed-cost idiom thanks to the i+=k merge).
+    def mean_length(latency):
+        matching = [
+            r for r in rows
+            if r["memory_latency"] == latency and r["target"] == "L"
+            and r["n_pthreads"] > 0
+        ]
+        return sum(r["avg_pthread_length"] for r in matching) / max(
+            1, len(matching)
+        )
+
+    assert mean_length(300) < mean_length(100) + 8.0

@@ -1,0 +1,70 @@
+"""Headline averages (Abstract / Sections 3.2 and 5.1).
+
+The paper's summary numbers:
+
+- O (energy-blind PTHSEL):  +13.8% performance at 11.9% more energy
+  (quasi-linear trade-off);
+- L (criticality cost model): +16.4% performance at 8.7% more energy
+  (super-linear trade-off, ~6.6% ED gain);
+- E: +5.4% performance with a small energy *decrease* (~0.7%);
+- P (ED): +12.9% performance, best ED gain (~8.8%).
+
+The reproduction asserts the *relationships* between targets, not the
+absolute numbers (the substrate is a synthetic-workload simulator).
+"""
+
+from conftest import write_report
+
+from repro.harness.figures import figure3
+from repro.harness.report import format_table
+from repro.pthsel.targets import Target
+
+
+def test_headline_averages(run_once, results_dir):
+    data = run_once(
+        figure3,
+        targets=(Target.ORIGINAL, Target.LATENCY, Target.ENERGY, Target.ED),
+    )
+    speed = data.gmeans("speedup_pct")
+    energy = data.gmeans("energy_save_pct")
+    ed = data.gmeans("ed_save_pct")
+    ed2 = data.gmeans("ed2_save_pct")
+
+    rows = [
+        {"target": t, "speedup_pct": speed[t],
+         "energy_save_pct": energy[t], "ed_save_pct": ed[t],
+         "ed2_save_pct": ed2[t]}
+        for t in ("O", "L", "E", "P")
+    ]
+    paper = [
+        {"target": "O(paper)", "speedup_pct": 13.8,
+         "energy_save_pct": -11.9, "ed_save_pct": 3.5, "ed2_save_pct": 15.0},
+        {"target": "L(paper)", "speedup_pct": 16.4,
+         "energy_save_pct": -8.7, "ed_save_pct": 6.6, "ed2_save_pct": 19.0},
+        {"target": "E(paper)", "speedup_pct": 5.4,
+         "energy_save_pct": 0.7, "ed_save_pct": 5.8, "ed2_save_pct": float("nan")},
+        {"target": "P(paper)", "speedup_pct": 12.9,
+         "energy_save_pct": -3.0, "ed_save_pct": 8.8, "ed2_save_pct": float("nan")},
+    ]
+    text = (
+        "== Headline GMean averages (this reproduction) ==\n"
+        + format_table(rows)
+        + "\n\n== Paper values ==\n"
+        + format_table(paper)
+    )
+    write_report(results_dir, "headline_averages", text)
+
+    # Latency ordering: L >= P >= E, and L >= O.
+    assert speed["L"] >= speed["E"]
+    assert speed["L"] >= speed["P"] - 1.0
+    assert speed["P"] >= speed["E"] - 1.0
+    assert speed["L"] >= speed["O"] - 1.0
+    # Energy ordering: E >= P >= O and E >= L >= O.
+    assert energy["E"] >= energy["P"] - 0.5
+    assert energy["E"] >= energy["L"] - 0.5
+    assert energy["L"] >= energy["O"]
+    # E-p-threads are roughly energy-free (paper: +0.7%).
+    assert energy["E"] > -2.0
+    # Pre-execution is worthwhile: L improves ED and ED^2 on average.
+    assert ed["L"] > 0
+    assert ed2["L"] > 0

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Retargeting study: sweep the composition weight W on one benchmark.
+
+The paper's PTHSEL+E selects p-threads that optimize latency (W=1),
+energy (W=0), ED (W=0.5), ED^2 (W=0.67) or anything in between.  This
+example sweeps the named targets plus a few intermediate weights on
+`twolf` (whose two contemporaneous gathers make the trade-off visible)
+and prints the resulting latency/energy frontier.
+
+Usage::
+
+    python examples/energy_retargeting.py [benchmark]
+"""
+
+import sys
+
+from repro import Target, run_experiment
+from repro.harness.report import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    rows = []
+    for target in (Target.ORIGINAL, Target.LATENCY, Target.ED2, Target.ED,
+                   Target.ENERGY):
+        result = run_experiment(benchmark, target=target)
+        diag = result.diagnostics()
+        rows.append(
+            {
+                "target": target.label,
+                "W": target.composition_weight,
+                "n_pthreads": result.selection.n_pthreads,
+                "avg_len": round(diag["avg_pthread_length"], 1),
+                "speedup_pct": round(result.speedup_pct, 2),
+                "energy_save_pct": round(result.energy_save_pct, 2),
+                "ed_save_pct": round(result.ed_save_pct, 2),
+                "pinst_pct": round(diag["pinst_increase_pct"], 1),
+            }
+        )
+    print(f"Latency/energy frontier for {benchmark!r}:")
+    print(format_table(rows))
+    print()
+    print("Reading guide: L maximizes speedup; E trims selection until")
+    print("p-threads pay for their own energy; P (ED) sits in between.")
+
+
+if __name__ == "__main__":
+    main()

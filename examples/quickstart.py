@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: select latency-targeted p-threads for one benchmark.
+
+Runs the full pipeline on `gap` -- baseline simulation, PTHSEL+E
+selection, DDMT augmentation, optimized simulation -- and prints the
+selected p-threads plus the latency/energy effects.
+
+Usage::
+
+    python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import Target, run_experiment
+from repro.harness.report import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gap"
+    print(f"Running PTHSEL+E latency-target experiment on {benchmark!r}...")
+    result = run_experiment(benchmark, target=Target.LATENCY)
+
+    print()
+    print(result.selection.describe())
+    print()
+
+    diag = result.diagnostics()
+    rows = [
+        {"metric": "execution time reduction", "value": f"{result.speedup_pct:+.2f}%"},
+        {"metric": "energy reduction", "value": f"{result.energy_save_pct:+.2f}%"},
+        {"metric": "ED reduction", "value": f"{result.ed_save_pct:+.2f}%"},
+        {"metric": "ED^2 reduction", "value": f"{result.ed2_save_pct:+.2f}%"},
+        {"metric": "misses fully covered",
+         "value": f"{diag['full_coverage_pct']:.1f}%"},
+        {"metric": "misses partially covered",
+         "value": f"{diag['partial_coverage_pct']:.1f}%"},
+        {"metric": "p-instruction increase",
+         "value": f"{diag['pinst_increase_pct']:.1f}%"},
+        {"metric": "spawn usefulness", "value": f"{diag['usefulness_pct']:.1f}%"},
+        {"metric": "baseline cycles", "value": result.baseline.cycles},
+        {"metric": "optimized cycles", "value": result.optimized.cycles},
+    ]
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Machine-parameter sensitivity: how p-thread selection responds.
+
+Reproduces a slice of the paper's Figure 5 interactively: sweep one
+machine parameter (idle energy factor, memory latency, or L2 size) on
+one benchmark and watch PTHSEL+E adapt its selection.
+
+Usage::
+
+    python examples/sensitivity_sweep.py idle      [benchmark]
+    python examples/sensitivity_sweep.py memlat    [benchmark]
+    python examples/sensitivity_sweep.py l2        [benchmark]
+"""
+
+import sys
+
+from repro import EnergyConfig, MachineConfig, Target, run_experiment
+from repro.harness.report import format_table
+
+
+def sweep_idle(benchmark: str):
+    rows = []
+    for factor in (0.0, 0.05, 0.10):
+        for target in (Target.LATENCY, Target.ENERGY):
+            r = run_experiment(
+                benchmark, target=target,
+                energy=EnergyConfig().with_idle_factor(factor),
+            )
+            rows.append({
+                "idle_factor": factor, "target": target.label,
+                "n_pthreads": r.selection.n_pthreads,
+                "speedup_pct": round(r.speedup_pct, 2),
+                "energy_save_pct": round(r.energy_save_pct, 2),
+            })
+    return rows
+
+
+def sweep_memlat(benchmark: str):
+    rows = []
+    for latency in (100, 200, 300):
+        r = run_experiment(
+            benchmark, target=Target.LATENCY,
+            machine=MachineConfig().with_memory_latency(latency),
+        )
+        rows.append({
+            "memory_latency": latency,
+            "n_pthreads": r.selection.n_pthreads,
+            "avg_len": round(r.selection.average_length, 1),
+            "speedup_pct": round(r.speedup_pct, 2),
+            "energy_save_pct": round(r.energy_save_pct, 2),
+        })
+    return rows
+
+
+def sweep_l2(benchmark: str):
+    rows = []
+    for kb, lat in ((128, 10), (256, 12), (512, 15)):
+        r = run_experiment(
+            benchmark, target=Target.LATENCY,
+            machine=MachineConfig().scaled_l2(kb * 1024, lat),
+        )
+        rows.append({
+            "l2_kb": kb, "l2_latency": lat,
+            "n_pthreads": r.selection.n_pthreads,
+            "speedup_pct": round(r.speedup_pct, 2),
+            "energy_save_pct": round(r.energy_save_pct, 2),
+        })
+    return rows
+
+
+def main() -> None:
+    mode = sys.argv[1] if len(sys.argv) > 1 else "idle"
+    benchmark = sys.argv[2] if len(sys.argv) > 2 else "twolf"
+    sweeps = {"idle": sweep_idle, "memlat": sweep_memlat, "l2": sweep_l2}
+    if mode not in sweeps:
+        raise SystemExit(f"unknown sweep {mode!r}; pick one of {list(sweeps)}")
+    print(f"{mode} sweep on {benchmark!r}:")
+    print(format_table(sweeps[mode](benchmark)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Reproduction of Petric & Roth, ISCA 2005.
+
+"Energy-Effectiveness of Pre-Execution and Energy-Aware P-Thread Selection"
+
+The package implements the paper's primary contribution -- the PTHSEL and
+PTHSEL+E analytical p-thread selection frameworks -- together with every
+substrate the paper's evaluation depends on:
+
+- a small RISC ISA and program builder (:mod:`repro.isa`),
+- synthetic SPEC2000-integer-like workloads (:mod:`repro.workloads`),
+- a functional frontend producing dynamic traces (:mod:`repro.frontend`),
+- a cache/TLB/bus memory hierarchy (:mod:`repro.memory`),
+- hybrid branch prediction (:mod:`repro.branch`),
+- a cycle-level out-of-order multithreaded CPU with DDMT-style
+  pre-execution (:mod:`repro.cpu`),
+- a Wattch-style energy model (:mod:`repro.energy`),
+- a Fields-style critical-path analyzer (:mod:`repro.critpath`),
+- a dynamic backward slicer producing slice trees (:mod:`repro.slicer`),
+- the PTHSEL / PTHSEL+E selection core (:mod:`repro.pthsel`),
+- DDMT binary augmentation (:mod:`repro.ddmt`), and
+- the experiment harness that regenerates every table and figure
+  (:mod:`repro.harness`).
+
+Quickstart
+----------
+>>> from repro import run_experiment, Target
+>>> result = run_experiment("gcc", target=Target.LATENCY)
+>>> result.speedup_pct > 0
+True
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.config import (
+    EnergyConfig,
+    MachineConfig,
+    SelectionConfig,
+    SimulationConfig,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.experiment import (
+        ExperimentResult,
+        run_baseline,
+        run_experiment,
+    )
+    from repro.pthsel.targets import Target
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyConfig",
+    "ExperimentResult",
+    "MachineConfig",
+    "SelectionConfig",
+    "SimulationConfig",
+    "Target",
+    "run_baseline",
+    "run_experiment",
+    "__version__",
+]
+
+_LAZY = {
+    "ExperimentResult": ("repro.harness.experiment", "ExperimentResult"),
+    "run_baseline": ("repro.harness.experiment", "run_baseline"),
+    "run_experiment": ("repro.harness.experiment", "run_experiment"),
+    "Target": ("repro.pthsel.targets", "Target"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the heavyweight public entry points (PEP 562)."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

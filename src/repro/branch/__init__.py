@@ -1,0 +1,10 @@
+"""Branch prediction: an 8K-entry hybrid predictor and a 2K-entry BTB."""
+
+from repro.branch.btb import BTB
+from repro.branch.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    HybridPredictor,
+)
+
+__all__ = ["BTB", "BimodalPredictor", "GsharePredictor", "HybridPredictor"]

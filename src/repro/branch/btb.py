@@ -1,0 +1,47 @@
+"""Branch target buffer."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class BTBStats:
+    lookups: int = 0
+    misses: int = 0
+
+
+class BTB:
+    """A target buffer mapping branch PCs to predicted targets.
+
+    Modeled as LRU over a bounded number of entries.  A taken-predicted
+    branch whose target is absent (or stale) costs a fetch redirect even
+    when the direction prediction was right.
+    """
+
+    def __init__(self, entries: int = 2048) -> None:
+        if entries <= 0:
+            raise ConfigError("BTB needs at least one entry")
+        self.entries = entries
+        self.stats = BTBStats()
+        self._table: "OrderedDict[int, int]" = OrderedDict()
+
+    def lookup(self, pc: int) -> int:
+        """Predicted target of ``pc``, or -1 when absent."""
+        self.stats.lookups += 1
+        target = self._table.get(pc, -1)
+        if target == -1:
+            self.stats.misses += 1
+        else:
+            self._table.move_to_end(pc)
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        if pc in self._table:
+            self._table.move_to_end(pc)
+        elif len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[pc] = target

@@ -1,0 +1,116 @@
+"""Two-bit, gshare, and hybrid (chooser) direction predictors.
+
+The hybrid predictor mirrors the paper's 8K-entry configuration: an
+8K-entry chooser selecting between an 8K-entry bimodal table and an
+8K-entry gshare table with a 12-bit global history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+
+
+def _check_power_of_two(entries: int) -> None:
+    if entries <= 0 or entries & (entries - 1):
+        raise ConfigError(f"predictor table size must be a power of two: {entries}")
+
+
+@dataclass
+class PredictorStats:
+    lookups: int = 0
+    mispredictions: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.lookups if self.lookups else 0.0
+
+
+class BimodalPredictor:
+    """A table of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, entries: int) -> None:
+        _check_power_of_two(entries)
+        self._mask = entries - 1
+        self._table: List[int] = [2] * entries  # weakly taken
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return pc & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        counter = self._table[i]
+        if taken:
+            self._table[i] = min(3, counter + 1)
+        else:
+            self._table[i] = max(0, counter - 1)
+
+
+class GsharePredictor:
+    """A global-history predictor: PC xor history indexes 2-bit counters."""
+
+    def __init__(self, entries: int, history_bits: int = 12) -> None:
+        _check_power_of_two(entries)
+        self._mask = entries - 1
+        self._table: List[int] = [2] * entries
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        counter = self._table[i]
+        if taken:
+            self._table[i] = min(3, counter + 1)
+        else:
+            self._table[i] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class HybridPredictor:
+    """Bimodal + gshare with a 2-bit chooser (McFarling-style)."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GsharePredictor(entries, history_bits)
+        _check_power_of_two(entries)
+        self._chooser: List[int] = [2] * entries
+        self._mask = entries - 1
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int) -> bool:
+        self.stats.lookups += 1
+        if self._chooser[pc & self._mask] >= 2:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_correct = self.bimodal.predict(pc) == taken
+        gshare_correct = self.gshare.predict(pc) == taken
+        i = pc & self._mask
+        if gshare_correct and not bimodal_correct:
+            self._chooser[i] = min(3, self._chooser[i] + 1)
+        elif bimodal_correct and not gshare_correct:
+            self._chooser[i] = max(0, self._chooser[i] - 1)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Convenience for trace-driven use: predict, learn, count."""
+        prediction = self.predict(pc)
+        if prediction != taken:
+            self.stats.mispredictions += 1
+        self.update(pc, taken)
+        return prediction

@@ -1,0 +1,117 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation:
+
+- ``run BENCH``          one experiment (pick ``--target O|L|E|P|P2``)
+- ``figure2``            N-vs-O breakdowns
+- ``figure3``            the O/L/E/P retargeting study
+- ``figure4``            realistic-profiling robustness
+- ``figure5 idle|memlat|l2``  sensitivity panels
+- ``table3``             model validation ratios
+- ``list``               available benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import figures
+from repro.harness.experiment import run_experiment
+from repro.harness.report import format_table
+from repro.pthsel.targets import Target
+from repro.workloads import benchmark_names
+
+_TARGETS = {t.label: t for t in Target}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PTHSEL/PTHSEL+E reproduction (Petric & Roth, ISCA 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("benchmark", choices=benchmark_names())
+    run.add_argument("--target", default="L", choices=sorted(_TARGETS))
+    run.add_argument("--profile-input", default="train",
+                     choices=("train", "ref"))
+    run.add_argument("--branch-pthreads", action="store_true",
+                     help="also select branch-outcome p-threads (Section 7)")
+
+    sub.add_parser("figure2", help="N vs O breakdowns")
+    fig3 = sub.add_parser("figure3", help="O/L/E/P retargeting study")
+    fig3.add_argument("--benchmarks", nargs="*", default=None)
+    sub.add_parser("figure4", help="realistic profiling study")
+    fig5 = sub.add_parser("figure5", help="sensitivity panels")
+    fig5.add_argument("panel", choices=("idle", "memlat", "l2"))
+    sub.add_parser("table3", help="model validation ratios")
+    sub.add_parser("list", help="list benchmarks")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in benchmark_names():
+            print(name)
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(
+            args.benchmark,
+            target=_TARGETS[args.target],
+            profile_input=args.profile_input,
+            include_branch_pthreads=args.branch_pthreads,
+        )
+        print(result.selection.describe())
+        print()
+        print(format_table([{
+            "speedup_pct": round(result.speedup_pct, 2),
+            "energy_save_pct": round(result.energy_save_pct, 2),
+            "ed_save_pct": round(result.ed_save_pct, 2),
+            **{k: round(v, 2) for k, v in result.diagnostics().items()},
+        }]))
+        return 0
+
+    if args.command == "figure2":
+        data = figures.figure2()
+        print(data.render())
+        return 0
+
+    if args.command == "figure3":
+        benchmarks = args.benchmarks or list(benchmark_names())
+        data = figures.figure3(benchmarks=benchmarks)
+        print(data.render())
+        for metric in ("speedup_pct", "energy_save_pct", "ed_save_pct"):
+            gm = data.gmeans(metric)
+            print(f"GMean {metric}: "
+                  + "  ".join(f"{t}={v:+.1f}%" for t, v in gm.items()))
+        return 0
+
+    if args.command == "figure4":
+        data = figures.figure4()
+        print(data.render())
+        return 0
+
+    if args.command == "figure5":
+        panel = {
+            "idle": figures.figure5_idle,
+            "memlat": figures.figure5_memory_latency,
+            "l2": figures.figure5_l2_size,
+        }[args.panel]
+        print(format_table(panel()))
+        return 0
+
+    if args.command == "table3":
+        print(format_table(figures.table3()))
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Cycle-level out-of-order multithreaded CPU with DDMT pre-execution.
+
+The simulator is trace-driven: the functional frontend resolves dataflow,
+addresses, and branch outcomes (see :mod:`repro.frontend`); this package
+charges cycles.  It models the paper's default machine: a 6-way, 15-stage
+superscalar with a 128-entry ROB, 80 reservation stations, 384 physical
+registers, and 8 thread contexts, where p-threads execute in DDMT
+lightweight mode -- reservation stations and physical registers but no
+ROB or LSQ entries, sequenced in width-sized blocks at one instruction
+per cycle, prefetching into the L2.
+"""
+
+from repro.cpu.pipeline import Pipeline, simulate
+from repro.cpu.pthreads import PInstClass, PInstSpec, PThreadProgram, SpawnSpec
+from repro.cpu.stats import ActivityCounts, LatencyBreakdown, SimStats
+
+__all__ = [
+    "ActivityCounts",
+    "LatencyBreakdown",
+    "PInstClass",
+    "PInstSpec",
+    "PThreadProgram",
+    "Pipeline",
+    "SimStats",
+    "SpawnSpec",
+    "simulate",
+]

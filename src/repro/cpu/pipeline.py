@@ -1,0 +1,696 @@
+"""The cycle-level out-of-order pipeline.
+
+Trace-driven timing model of the paper's default machine (Section 3.1).
+Each cycle runs commit, wakeup, issue, dispatch, and fetch in reverse
+pipeline order.  When no stage can make progress the simulator jumps
+directly to the next scheduled event (a completion, an I-cache fill, a
+redirect resolution, or a p-thread fetch slot), charging the skipped
+cycles to the latency-breakdown category of the stalled state -- so
+miss-dominated programs simulate in time proportional to events, not
+cycles.
+
+Main-thread instructions flow fetch -> frontend pipe (``frontend_depth``
+cycles) -> dispatch (ROB + reservation station + physical register) ->
+issue -> complete -> commit.  P-instructions follow DDMT lightweight
+execution: they are fetched in width-sized blocks at one instruction per
+cycle per context, dispatch into reservation stations and physical
+registers only (no ROB/LSQ), and never retire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.branch.btb import BTB
+from repro.branch.predictors import HybridPredictor
+from repro.config import MachineConfig
+from repro.cpu.pthreads import PInstClass, PThreadProgram, SpawnSpec
+from repro.cpu.stats import SimStats
+from repro.errors import ExecutionError
+from repro.frontend.trace import NO_PRODUCER, Trace
+from repro.isa.opcodes import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: Bytes per instruction when mapping PCs into the I-cache address space.
+INST_BYTES = 4
+
+_NOT_DONE = -1
+
+# Entry kinds.
+_ALU, _MUL, _LOAD, _STORE, _BRANCH, _NOP = range(6)
+
+_CLASS_TO_KIND = {
+    OpClass.ALU: _ALU,
+    OpClass.MUL: _MUL,
+    OpClass.LOAD: _LOAD,
+    OpClass.STORE: _STORE,
+    OpClass.BRANCH: _BRANCH,
+    OpClass.JUMP: _NOP,
+    OpClass.NOP: _NOP,
+    OpClass.HALT: _NOP,
+}
+
+_PCLASS_TO_KIND = {
+    PInstClass.ALU: _ALU,
+    PInstClass.MUL: _MUL,
+    PInstClass.LOAD: _LOAD,
+}
+
+
+class _Entry:
+    """One instruction in the out-of-order window."""
+
+    __slots__ = (
+        "uid",
+        "kind",
+        "seq",
+        "pc",
+        "addr",
+        "pending",
+        "is_pth",
+        "is_target",
+        "ctx",
+        "hint_seq",
+        "hint_taken",
+    )
+
+    def __init__(self, uid: int, kind: int, seq: int, pc: int, addr: int,
+                 is_pth: bool = False, is_target: bool = False,
+                 ctx: Optional["_Context"] = None, hint_seq: int = -1,
+                 hint_taken: bool = False) -> None:
+        self.uid = uid
+        self.kind = kind
+        self.seq = seq
+        self.pc = pc
+        self.addr = addr
+        self.pending = 0
+        self.is_pth = is_pth
+        self.is_target = is_target
+        self.ctx = ctx
+        self.hint_seq = hint_seq
+        self.hint_taken = hint_taken
+
+
+class _Context:
+    """A hardware thread context running one p-thread spawn."""
+
+    __slots__ = ("spawn", "uid_base", "fetch_idx", "next_fetch", "in_flight",
+                 "fetched_all")
+
+    def __init__(self, spawn: SpawnSpec, uid_base: int, now: int) -> None:
+        self.spawn = spawn
+        self.uid_base = uid_base
+        self.fetch_idx = 0
+        self.next_fetch = now + 1
+        self.in_flight = 0
+        self.fetched_all = False
+
+
+class Pipeline:
+    """One timing simulation of a trace, optionally with p-threads."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: Optional[MachineConfig] = None,
+        pthreads: Optional[PThreadProgram] = None,
+        warm: bool = True,
+    ) -> None:
+        self.trace = trace
+        self.config = config or MachineConfig()
+        self.pthreads = pthreads or PThreadProgram()
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.predictor = HybridPredictor(self.config.bpred_entries)
+        self.btb = BTB(self.config.btb_entries)
+        self.stats = SimStats()
+        self.warm = warm
+        self._ran = False
+
+    def _warm_caches(self) -> None:
+        """Functional warm-up pass, mirroring the paper's sampled-run cache
+        warm-up: touch every data access and fetch line once so the timed
+        run measures steady-state (capacity) misses, not cold misses."""
+        hierarchy = self.hierarchy
+        line_insts = self.config.icache.line_bytes // INST_BYTES
+        seen_lines = set()
+        for dyn in self.trace.insts:
+            line = dyn.pc // line_insts
+            if line not in seen_lines:
+                seen_lines.add(line)
+                hierarchy.warm_inst(dyn.pc * INST_BYTES)
+            if dyn.addr >= 0:
+                hierarchy.warm_data(dyn.addr)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimStats:
+        """Simulate to completion and return the statistics."""
+        if self._ran:
+            raise ExecutionError("a Pipeline instance can only run once")
+        self._ran = True
+        if self.warm:
+            self._warm_caches()
+
+        cfg = self.config
+        trace = self.trace
+        insts = trace.insts
+        n_main = len(insts)
+        stats = self.stats
+        act = stats.activity
+        hierarchy = self.hierarchy
+
+        width = cfg.width
+        commit_width = cfg.commit_width
+        frontend_depth = cfg.frontend_depth
+        rs_capacity = cfg.rs_entries
+        rob_capacity = cfg.rob_entries
+        phys_budget = cfg.physical_registers - 32  # main arch state
+        pipe_capacity = width * frontend_depth
+        line_shift = cfg.icache.line_bytes.bit_length() - 1
+        insts_per_line = cfg.icache.line_bytes // INST_BYTES
+        pth_block_interval = max(1, int(round(width / cfg.pthread_fetch_ipc)))
+
+        # Completion times: list for main instructions, dict for p-insts.
+        completion: List[int] = [_NOT_DONE] * n_main
+        p_completion: Dict[int, int] = {}
+
+        def done_at(uid: int) -> int:
+            return completion[uid] if uid < n_main else p_completion.get(
+                uid, _NOT_DONE
+            )
+
+        # Wakeup machinery.
+        wakeup: Dict[int, List[_Entry]] = {}
+        ready: List[Tuple[int, _Entry]] = []  # heap keyed by age (uid)
+        deferred: List[_Entry] = []  # ready but port/MSHR limited this cycle
+        completion_events: List[Tuple[int, int]] = []  # (time, uid)
+
+        # Window state.  P-instructions flow through their own frontend
+        # pipe (DDMT's separate sequencers), so a stalled main-thread
+        # dispatch never blocks them head-of-line and vice versa.  The
+        # main thread may not occupy the last `pthread_rs_reserve`
+        # reservation stations.
+        rob: Deque[int] = deque()
+        frontend_pipe: Deque[Tuple[int, int]] = deque()  # (ready_at, seq)
+        pth_pipe: Deque[Tuple[int, "_Context", int]] = deque()
+        rs_used_main = 0
+        rs_used_pth = 0
+        main_rs_cap = max(cfg.width, rs_capacity - cfg.pthread_rs_reserve)
+        phys_used = 0
+
+        # Fetch state.
+        next_seq = 0
+        fetch_line = -1
+        line_ready_at = 0
+        fetch_hold_until = 0
+        pending_redirect: Optional[int] = None  # seq of unresolved mispredict
+        redirect_clear_at: Optional[int] = None
+
+        # Load classification for breakdown attribution.
+        load_kind: Dict[int, str] = {}
+        # Lines whose in-flight prefetch already got partial-cover credit
+        # (several demand accesses can merge with one prefetched line; the
+        # paper's coverage bars count misses, not accesses).
+        partial_counted: set = set()
+        l2_line_shift = cfg.l2.line_bytes.bit_length() - 1
+
+        # Branch pre-execution hints: branch seq -> (ready time, taken).
+        branch_hints: Dict[int, Tuple[int, bool]] = {}
+
+        # P-thread state.  Only contexts that still have instructions to
+        # fetch live in fetch_active; finished ones are dropped so the
+        # fetch stage never scans dead contexts.
+        fetch_active: List[_Context] = []
+        free_contexts = cfg.thread_contexts - 1  # context 0 is the main thread
+        next_uid = n_main
+
+        now = 0
+        committed = 0
+
+        # -------------------------------------------------------------- #
+        # Helpers (closures over the hot state).
+        # -------------------------------------------------------------- #
+
+        def schedule_completion(uid: int, time: int) -> None:
+            if uid < n_main:
+                completion[uid] = time
+            else:
+                p_completion[uid] = time
+            heapq.heappush(completion_events, (time, uid))
+
+        def register_deps(entry: _Entry, producers: Tuple[int, ...]) -> bool:
+            """Register wakeups; return True if already ready."""
+            pending = 0
+            for producer in producers:
+                if producer == NO_PRODUCER:
+                    continue
+                t = done_at(producer)
+                if t == _NOT_DONE or t > now:
+                    wakeup.setdefault(producer, []).append(entry)
+                    pending += 1
+            entry.pending = pending
+            if pending == 0:
+                heapq.heappush(ready, (entry.uid, entry))
+                return True
+            return False
+
+        def finish_context(ctx: _Context) -> None:
+            nonlocal free_contexts, phys_used
+            phys_used -= len(ctx.spawn.insts)
+            free_contexts += 1
+
+        def attempt_spawns(trigger_seq: int) -> None:
+            nonlocal free_contexts, next_uid, phys_used
+            for spawn in self.pthreads.spawns_by_trigger.get(trigger_seq, ()):
+                stats.spawns_attempted += 1
+                if free_contexts <= 0:
+                    stats.spawns_dropped_no_context += 1
+                    continue
+                if phys_used + len(spawn.insts) > phys_budget:
+                    stats.spawns_dropped_no_context += 1
+                    continue
+                free_contexts -= 1
+                phys_used += len(spawn.insts)
+                fetch_active.append(_Context(spawn, next_uid, now))
+                next_uid += len(spawn.insts)
+                stats.spawns_started += 1
+
+        # -------------------------------------------------------------- #
+        # Pipeline stages.
+        # -------------------------------------------------------------- #
+
+        def do_commit() -> bool:
+            nonlocal committed, phys_used
+            n = 0
+            while n < commit_width and rob:
+                head = rob[0]
+                t = completion[head]
+                if t == _NOT_DONE or t > now:
+                    break
+                rob.popleft()
+                if insts[head].op.writes_register:
+                    phys_used -= 1
+                committed += 1
+                n += 1
+            if n:
+                act.committed_main += n
+            return n > 0
+
+        def process_completions() -> bool:
+            fired = False
+            while completion_events and completion_events[0][0] <= now:
+                _, uid = heapq.heappop(completion_events)
+                fired = True
+                for waiter in wakeup.pop(uid, ()):
+                    waiter.pending -= 1
+                    if waiter.pending == 0:
+                        heapq.heappush(ready, (waiter.uid, waiter))
+            return fired
+
+        def issue_one(entry: _Entry) -> bool:
+            """Execute an entry; returns False if it must retry (MSHR full)."""
+            nonlocal redirect_clear_at
+            kind = entry.kind
+            if kind == _LOAD:
+                result = hierarchy.data_access(
+                    entry.addr, now, is_write=False, is_pthread=entry.is_pth
+                )
+                if result.retry:
+                    return False
+                if entry.is_pth:
+                    act.dmem_accesses_pth += 1
+                    if result.l2_accessed or result.mem_access:
+                        act.l2_accesses_pth += 1
+                    if result.mem_access:
+                        stats.pthread_l2_misses += 1
+                else:
+                    act.dmem_accesses_main += 1
+                    if result.l2_accessed or result.mem_access:
+                        act.l2_accesses_main += 1
+                    if result.mem_access:
+                        stats.demand_l2_misses += 1
+                        stats.missed_load_seqs.add(entry.seq)
+                        stats.l2_misses_by_pc[entry.pc] = (
+                            stats.l2_misses_by_pc.get(entry.pc, 0) + 1
+                        )
+                        load_kind[entry.seq] = "mem"
+                    elif result.mshr_merged:
+                        load_kind[entry.seq] = "mem"
+                        if result.merged_with_prefetch:
+                            line = entry.addr >> l2_line_shift
+                            if line not in partial_counted:
+                                partial_counted.add(line)
+                                stats.covered_misses_partial += 1
+                                stats.useful_prefetches += 1
+                            stats.missed_load_seqs.add(entry.seq)
+                    elif result.l2_accessed:
+                        load_kind[entry.seq] = "l2"
+                    if result.prefetched_hit:
+                        stats.covered_misses_full += 1
+                        stats.useful_prefetches += 1
+                schedule_completion(entry.uid, result.complete_at)
+            elif kind == _STORE:
+                result = hierarchy.data_access(entry.addr, now, is_write=True)
+                if result.retry:
+                    return False
+                act.dmem_accesses_main += 1
+                if result.l2_accessed or result.mem_access:
+                    act.l2_accesses_main += 1
+                # Stores drain through the store buffer off the critical path.
+                schedule_completion(entry.uid, now + 1)
+            elif kind == _MUL:
+                schedule_completion(entry.uid, now + cfg.mul_latency)
+            else:  # ALU or BRANCH
+                schedule_completion(entry.uid, now + 1)
+                if kind == _BRANCH and entry.seq == pending_redirect:
+                    redirect_clear_at = now + 1
+            if entry.is_pth:
+                stats.pinsts_executed += 1
+                if kind in (_ALU, _MUL):
+                    act.alu_ops_pth += 1
+                if entry.hint_seq >= 0:
+                    done = (
+                        p_completion.get(entry.uid)
+                        if entry.uid >= n_main
+                        else completion[entry.uid]
+                    )
+                    branch_hints[entry.hint_seq] = (done, entry.hint_taken)
+                ctx = entry.ctx
+                ctx.in_flight -= 1
+                if ctx.fetched_all and ctx.in_flight == 0:
+                    finish_context(ctx)
+            else:
+                if kind in (_ALU, _MUL, _BRANCH):
+                    act.alu_ops_main += 1
+            return True
+
+        def do_issue() -> bool:
+            nonlocal rs_used_main, rs_used_pth
+            alu_slots = cfg.int_alus
+            load_slots = cfg.load_ports
+            store_slots = cfg.store_ports
+            issued = 0
+            retry: List[_Entry] = []
+            pool: List[_Entry] = deferred[:]
+            deferred.clear()
+            while ready and len(pool) < width + 8:
+                pool.append(heapq.heappop(ready)[1])
+            for entry in pool:
+                kind = entry.kind
+                if kind == _LOAD:
+                    can = load_slots > 0
+                elif kind == _STORE:
+                    can = store_slots > 0
+                else:
+                    can = alu_slots > 0
+                if not can or issued >= width:
+                    retry.append(entry)
+                    continue
+                if issue_one(entry):
+                    if kind == _LOAD:
+                        load_slots -= 1
+                    elif kind == _STORE:
+                        store_slots -= 1
+                    else:
+                        alu_slots -= 1
+                    if entry.is_pth:
+                        rs_used_pth -= 1
+                    else:
+                        rs_used_main -= 1
+                    issued += 1
+                else:
+                    retry.append(entry)
+            deferred.extend(retry)
+            return issued > 0
+
+        def do_dispatch() -> bool:
+            nonlocal rs_used_main, rs_used_pth, phys_used
+            n = 0
+            while n < width and frontend_pipe:
+                ready_at, seq = frontend_pipe[0]
+                if ready_at > now:
+                    break
+                dyn = insts[seq]
+                kind = _CLASS_TO_KIND[dyn.op.op_class]
+                if len(rob) >= rob_capacity:
+                    break
+                needs_rs = kind != _NOP
+                if needs_rs and rs_used_main >= main_rs_cap:
+                    break
+                writes = dyn.op.writes_register
+                if writes and phys_used >= phys_budget:
+                    break
+                frontend_pipe.popleft()
+                rob.append(seq)
+                act.dispatched_main += 1
+                if writes:
+                    phys_used += 1
+                if needs_rs:
+                    rs_used_main += 1
+                    entry = _Entry(seq, kind, seq, dyn.pc, dyn.addr)
+                    register_deps(entry, (dyn.src1_seq, dyn.src2_seq))
+                else:
+                    schedule_completion(seq, now)
+                attempt_spawns(seq)
+                n += 1
+            while n < width and pth_pipe:
+                ready_at, ctx, idx = pth_pipe[0]
+                if ready_at > now:
+                    break
+                if rs_used_main + rs_used_pth >= rs_capacity:
+                    break
+                pth_pipe.popleft()
+                rs_used_pth += 1
+                act.dispatched_pth += 1
+                spec = ctx.spawn.insts[idx]
+                uid = ctx.uid_base + idx
+                entry = _Entry(
+                    uid,
+                    _PCLASS_TO_KIND[spec.klass],
+                    -1,
+                    -1,
+                    spec.addr,
+                    is_pth=True,
+                    is_target=spec.is_target,
+                    ctx=ctx,
+                    hint_seq=spec.hint_branch_seq,
+                    hint_taken=spec.hint_taken,
+                )
+                producers = tuple(
+                    ctx.uid_base + d for d in spec.body_deps
+                ) + spec.livein_seqs
+                register_deps(entry, producers)
+                n += 1
+            return n > 0
+
+        def do_fetch() -> bool:
+            nonlocal next_seq, fetch_line, line_ready_at, fetch_hold_until
+            nonlocal pending_redirect, redirect_clear_at
+
+            # P-thread contexts fetch width-sized blocks on their slots.
+            if len(pth_pipe) < pipe_capacity:
+                for ctx in fetch_active:
+                    if ctx.next_fetch > now:
+                        continue
+                    body = ctx.spawn.insts
+                    block_end = min(ctx.fetch_idx + width, len(body))
+                    for idx in range(ctx.fetch_idx, block_end):
+                        pth_pipe.append((now + frontend_depth, ctx, idx))
+                        ctx.in_flight += 1
+                        stats.pinsts_fetched += 1
+                    ctx.fetch_idx = block_end
+                    ctx.next_fetch = now + pth_block_interval
+                    if ctx.fetch_idx >= len(body):
+                        ctx.fetched_all = True
+                        fetch_active.remove(ctx)
+                    act.fetch_blocks_pth += 1
+                    return True
+
+            # Main thread.
+            if len(frontend_pipe) >= pipe_capacity:
+                return False
+            if pending_redirect is not None:
+                if redirect_clear_at is None or now <= redirect_clear_at:
+                    return False
+                pending_redirect = None
+                redirect_clear_at = None
+                fetch_line = -1  # refetch the target line
+            if now < fetch_hold_until:
+                return False
+            if next_seq >= n_main:
+                return False
+
+            pc = insts[next_seq].pc
+            line = (pc * INST_BYTES) >> line_shift
+            if line != fetch_line:
+                result = hierarchy.inst_fetch(pc * INST_BYTES, now)
+                fetch_line = line
+                if not result.l1_hit:
+                    line_ready_at = result.complete_at
+                    return True  # the fetch slot is consumed by the miss
+                line_ready_at = now
+            if now < line_ready_at:
+                return False
+
+            act.fetch_blocks_main += 1
+            fetched = 0
+            while (
+                fetched < width
+                and next_seq < n_main
+                and len(frontend_pipe) < pipe_capacity
+            ):
+                dyn = insts[next_seq]
+                if (dyn.pc * INST_BYTES) >> line_shift != fetch_line:
+                    break
+                frontend_pipe.append((now + frontend_depth, next_seq))
+                next_seq += 1
+                fetched += 1
+                if dyn.op.op_class is OpClass.BRANCH:
+                    stats.branches += 1
+                    act.bpred_accesses += 1
+                    predicted = self.predictor.predict_and_update(
+                        dyn.pc, dyn.taken
+                    )
+                    hint = branch_hints.get(dyn.seq)
+                    if hint is not None and hint[0] <= now:
+                        # A branch p-thread pre-computed this outcome in
+                        # time: fetch follows the hint instead of the
+                        # predictor (a wrong hint still mispredicts).
+                        stats.branch_hints_used += 1
+                        predicted = hint[1]
+                    if predicted != dyn.taken:
+                        stats.mispredictions += 1
+                        pending_redirect = dyn.seq
+                        redirect_clear_at = None
+                        break
+                    if dyn.taken:
+                        target = self.btb.lookup(dyn.pc)
+                        if target != dyn.next_pc:
+                            stats.btb_misses += 1
+                            self.btb.update(dyn.pc, dyn.next_pc)
+                            fetch_hold_until = now + 2
+                        fetch_line = (dyn.next_pc * INST_BYTES) >> line_shift
+                        new_line = fetch_line
+                        result = hierarchy.inst_fetch(
+                            dyn.next_pc * INST_BYTES, now
+                        )
+                        if not result.l1_hit:
+                            line_ready_at = result.complete_at
+                        break
+                elif dyn.op.op_class is OpClass.JUMP:
+                    fetch_line = (dyn.next_pc * INST_BYTES) >> line_shift
+                    result = hierarchy.inst_fetch(dyn.next_pc * INST_BYTES, now)
+                    if not result.l1_hit:
+                        line_ready_at = result.complete_at
+                    break
+            return fetched > 0
+
+        def attribute_cycles(n: int) -> None:
+            if not rob:
+                stats.breakdown.add("fetch", n)
+                return
+            head = rob[0]
+            t = completion[head]
+            if t != _NOT_DONE and t <= now:
+                stats.breakdown.add("commit", n)
+                return
+            dyn = insts[head]
+            if dyn.op.op_class is OpClass.LOAD:
+                kind = load_kind.get(head)
+                if kind == "mem":
+                    stats.breakdown.add("mem", n)
+                    return
+                if kind == "l2":
+                    stats.breakdown.add("l2", n)
+                    return
+            stats.breakdown.add("exec", n)
+
+        # -------------------------------------------------------------- #
+        # Main loop.
+        # -------------------------------------------------------------- #
+
+        safety_limit = 400 * n_main + 10_000_000
+        _debug_iter = 0
+        import os as _os
+        _debug = bool(_os.environ.get("REPRO_DEBUG_PIPELINE"))
+        while committed < n_main:
+            if _debug:
+                _debug_iter += 1
+                if _debug_iter % 200_000 == 0:
+                    print(
+                        f"[dbg] iter={_debug_iter} now={now} committed={committed} "
+                        f"rob={len(rob)} rs={rs_used} ready={len(ready)} "
+                        f"deferred={len(deferred)} pipe={len(frontend_pipe)} "
+                        f"next_seq={next_seq} redirect={pending_redirect} "
+                        f"phys={phys_used} freectx={free_contexts}",
+                        flush=True,
+                    )
+            process_completions()
+            active = do_commit()
+            active |= do_issue()
+            active |= do_dispatch()
+            active |= do_fetch()
+
+            if now > safety_limit:
+                raise ExecutionError(
+                    f"simulation exceeded {safety_limit} cycles "
+                    f"({committed}/{n_main} committed)"
+                )
+
+            if committed >= n_main:
+                attribute_cycles(1)
+                now += 1
+                break
+
+            if active or ready:
+                attribute_cycles(1)
+                now += 1
+                continue
+
+            # Entries still in `deferred` with no stage active this cycle
+            # can only be MSHR-blocked loads (a port-limited entry implies
+            # something else issued, i.e. active).  MSHRs free exactly at
+            # load completion events, so jumping to the next completion is
+            # safe -- and essential for miss-saturated programs like mcf.
+
+            # Nothing can happen until the next event: jump.
+            candidates: List[int] = []
+            if completion_events:
+                candidates.append(completion_events[0][0])
+            if frontend_pipe:
+                candidates.append(frontend_pipe[0][0])
+            if pth_pipe:
+                candidates.append(pth_pipe[0][0])
+            if pending_redirect is not None and redirect_clear_at is not None:
+                candidates.append(redirect_clear_at + 1)
+            if line_ready_at > now:
+                candidates.append(line_ready_at)
+            if fetch_hold_until > now:
+                candidates.append(fetch_hold_until)
+            for ctx in fetch_active:
+                candidates.append(ctx.next_fetch)
+            if not candidates:
+                raise ExecutionError(
+                    f"pipeline deadlock at cycle {now}: "
+                    f"{committed}/{n_main} committed, rob={len(rob)}"
+                )
+            target = max(now + 1, min(candidates))
+            attribute_cycles(target - now)
+            now = target
+
+        stats.cycles = now
+        stats.committed = committed
+        act.cycles = now
+        return stats
+
+
+def simulate(
+    trace: Trace,
+    config: Optional[MachineConfig] = None,
+    pthreads: Optional[PThreadProgram] = None,
+    warm: bool = True,
+) -> SimStats:
+    """Convenience wrapper: build a pipeline, run it, return statistics."""
+    return Pipeline(trace, config, pthreads, warm=warm).run()

@@ -1,0 +1,95 @@
+"""P-thread descriptions consumed by the timing simulator.
+
+The DDMT layer (:mod:`repro.ddmt`) expands selected static p-threads into
+per-spawn instruction lists functionally (addresses resolved from the
+architectural state at the trigger).  The timing simulator only needs each
+p-instruction's class, address, and dependences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class PInstClass(enum.Enum):
+    """Timing-relevant classes of p-instructions.
+
+    P-threads contain neither stores nor branches (DDMT control-less-ness),
+    so three classes suffice.
+    """
+
+    ALU = "alu"
+    MUL = "mul"
+    LOAD = "load"
+
+
+@dataclass(frozen=True)
+class PInstSpec:
+    """One p-instruction within one dynamic spawn.
+
+    ``body_deps`` are indices of earlier instructions in the same body this
+    instruction reads; ``livein_seqs`` are main-thread trace sequence
+    numbers whose results this instruction reads directly (values captured
+    through the spawn-time register map).  ``addr`` is the resolved
+    effective address for loads, -1 otherwise.  ``is_target`` marks the
+    problem load the p-thread exists to prefetch.
+    """
+
+    klass: PInstClass
+    addr: int = -1
+    body_deps: Tuple[int, ...] = ()
+    livein_seqs: Tuple[int, ...] = ()
+    is_target: bool = False
+    #: Branch pre-execution (the paper's Section 7 extension): when >= 0,
+    #: this p-instruction computes the outcome of the dynamic branch with
+    #: this trace sequence number; ``hint_taken`` is the pre-computed
+    #: direction the fetch stage may consume once the p-instruction
+    #: completes.
+    hint_branch_seq: int = -1
+    hint_taken: bool = False
+
+
+@dataclass(frozen=True)
+class SpawnSpec:
+    """One dynamic p-thread instance, anchored at a main-thread trigger.
+
+    ``trigger_seq`` is the trace sequence number of the trigger instance;
+    ``static_id`` identifies the static p-thread (for per-p-thread
+    accounting); ``on_correct_path`` is False when the spawn corresponds to
+    a trigger the main thread only reached speculatively (modeled
+    probabilistically by the DDMT layer).
+    """
+
+    trigger_seq: int
+    static_id: int
+    insts: Tuple[PInstSpec, ...]
+    on_correct_path: bool = True
+
+
+@dataclass
+class PThreadProgram:
+    """All dynamic spawns for one simulation, grouped by trigger."""
+
+    spawns_by_trigger: Dict[int, List[SpawnSpec]] = field(default_factory=dict)
+
+    @classmethod
+    def from_spawns(cls, spawns: List[SpawnSpec]) -> "PThreadProgram":
+        grouped: Dict[int, List[SpawnSpec]] = {}
+        for spawn in spawns:
+            grouped.setdefault(spawn.trigger_seq, []).append(spawn)
+        return cls(spawns_by_trigger=grouped)
+
+    @property
+    def total_spawns(self) -> int:
+        return sum(len(v) for v in self.spawns_by_trigger.values())
+
+    @property
+    def total_pinsts(self) -> int:
+        return sum(
+            len(s.insts) for v in self.spawns_by_trigger.values() for s in v
+        )
+
+    def empty(self) -> bool:
+        return not self.spawns_by_trigger

@@ -1,0 +1,138 @@
+"""Simulation statistics: activity counts and the latency breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+#: Latency breakdown categories, bottom-to-top as the paper stacks them
+#: (Figure 2, left): memory latency, L2 latency, execution latency, commit
+#: bandwidth, fetch bandwidth/latency (incl. mispredictions and window
+#: stalls charged to fetch).
+BREAKDOWN_CATEGORIES = ("mem", "l2", "exec", "commit", "fetch")
+
+
+@dataclass
+class LatencyBreakdown:
+    """Cycle attribution into the paper's five critical-path categories."""
+
+    mem: int = 0
+    l2: int = 0
+    exec: int = 0
+    commit: int = 0
+    fetch: int = 0
+
+    def add(self, category: str, cycles: int = 1) -> None:
+        setattr(self, category, getattr(self, category) + cycles)
+
+    @property
+    def total(self) -> int:
+        return self.mem + self.l2 + self.exec + self.commit + self.fetch
+
+    def as_dict(self) -> Dict[str, int]:
+        return {c: getattr(self, c) for c in BREAKDOWN_CATEGORIES}
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total or 1
+        return {c: getattr(self, c) / total for c in BREAKDOWN_CATEGORIES}
+
+
+@dataclass
+class ActivityCounts:
+    """Per-structure access counts, split main thread vs p-thread.
+
+    These are the knobs the Wattch-style energy model converts to joules.
+    """
+
+    cycles: int = 0
+    # Fetch.
+    fetch_blocks_main: int = 0
+    fetch_blocks_pth: int = 0
+    bpred_accesses: int = 0
+    # Rename/window/execute (per instruction entering the OOO core).
+    dispatched_main: int = 0
+    dispatched_pth: int = 0
+    alu_ops_main: int = 0
+    alu_ops_pth: int = 0
+    # Data memory.
+    dmem_accesses_main: int = 0
+    dmem_accesses_pth: int = 0
+    l2_accesses_main: int = 0
+    l2_accesses_pth: int = 0
+    # Retirement (main thread only; p-instructions do not retire).
+    committed_main: int = 0
+
+
+@dataclass
+class SimStats:
+    """Everything one timing run reports."""
+
+    cycles: int = 0
+    committed: int = 0
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    activity: ActivityCounts = field(default_factory=ActivityCounts)
+
+    # Branch behavior.
+    branches: int = 0
+    mispredictions: int = 0
+    btb_misses: int = 0
+    #: Branch pre-execution: fetches steered by a timely p-thread hint.
+    branch_hints_used: int = 0
+
+    # Memory behavior.
+    l2_misses_by_pc: Dict[int, int] = field(default_factory=dict)
+    missed_load_seqs: Set[int] = field(default_factory=set)
+    demand_l2_misses: int = 0
+
+    # Pre-execution behavior.
+    spawns_attempted: int = 0
+    spawns_started: int = 0
+    spawns_dropped_no_context: int = 0
+    pinsts_fetched: int = 0
+    pinsts_executed: int = 0
+    pthread_l2_misses: int = 0
+    useful_prefetches: int = 0
+    covered_misses_full: int = 0
+    covered_misses_partial: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def pinst_increase(self) -> float:
+        """Executed p-instructions as a fraction of committed instructions."""
+        return self.pinsts_executed / self.committed if self.committed else 0.0
+
+    @property
+    def usefulness(self) -> float:
+        """Fraction of spawned p-threads whose prefetch was consumed.
+
+        Multiple demand accesses can consume one prefetched line, so the
+        ratio is capped at 1.
+        """
+        if not self.spawns_started:
+            return 0.0
+        return min(1.0, self.useful_prefetches / self.spawns_started)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": round(self.ipc, 4),
+            "branch_mpki": round(
+                1000.0 * self.mispredictions / self.committed, 2
+            )
+            if self.committed
+            else 0.0,
+            "demand_l2_misses": self.demand_l2_misses,
+            "spawns": self.spawns_started,
+            "pinsts": self.pinsts_executed,
+            "pinst_increase": round(self.pinst_increase, 4),
+            "usefulness": round(self.usefulness, 4),
+        }

@@ -1,0 +1,26 @@
+"""Critical-path modeling (Fields et al. [9]) and load cost functions.
+
+This package supplies the Section 4.1 extension to PTHSEL: per-problem-
+load functions mapping load latency reduction to global execution time
+reduction, computed from a dependence-graph model of the trace and
+averaged between a pessimistic estimate (only this load's misses are
+tolerated) and an optimistic one (all other contemporaneous misses are
+resolved) to approximate interaction costs [8].
+"""
+
+from repro.critpath.classify import LoadClassification, classify_trace
+from repro.critpath.graph import ForwardPass
+from repro.critpath.loadcost import (
+    FlatLoadCost,
+    LoadCostFunction,
+    build_cost_functions,
+)
+
+__all__ = [
+    "FlatLoadCost",
+    "ForwardPass",
+    "LoadClassification",
+    "LoadCostFunction",
+    "build_cost_functions",
+    "classify_trace",
+]

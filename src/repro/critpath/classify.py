@@ -1,0 +1,164 @@
+"""Functional (timing-free) classification of a trace's loads and branches.
+
+PTHSEL operates on program profiles, not timing simulations.  This module
+replays a trace through the cache geometry and branch predictor
+functionally -- in program order, no cycle accounting -- to classify every
+dynamic load by the level that services it and every branch by whether
+the predictor gets it right.  The result is the profile the slicer and
+the selection models consume (DCptcm mining, per-load miss latencies,
+wrong-path spawn rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.branch.predictors import HybridPredictor
+from repro.config import MachineConfig
+from repro.frontend.trace import Trace
+from repro.isa.opcodes import Op
+from repro.memory.cache import Cache
+
+#: Load service levels.
+L1, L2, MEM = "l1", "l2", "mem"
+
+
+@dataclass
+class LoadClassification:
+    """Profile of a trace's memory and control behavior.
+
+    ``service`` reflects *latency*, not just residency: a load whose line
+    was brought in by a miss initiated only a few instructions earlier
+    (i.e. one that would merge with the outstanding MSHR entry and wait
+    nearly the whole miss) is classified "mem" even though the line is
+    nominally present.  ``miss_counts`` counts only miss *initiators*,
+    which is what problem-load identification needs.
+    """
+
+    #: Dynamic load seq -> service level ("l1" | "l2" | "mem").
+    service: Dict[int, str] = field(default_factory=dict)
+    #: Static load pc -> number of dynamic L2 misses (initiators only).
+    miss_counts: Dict[int, int] = field(default_factory=dict)
+    #: Static load pc -> number of dynamic instances.
+    load_counts: Dict[int, int] = field(default_factory=dict)
+    #: Static load pc -> number of dynamic L1 misses (hits L2 or memory).
+    l1_miss_counts: Dict[int, int] = field(default_factory=dict)
+    #: Static load pc -> [n_l1, n_l2, n_mem] service-level counts.
+    service_counts: Dict[int, List[int]] = field(default_factory=dict)
+    #: Dynamic branch seq numbers the hybrid predictor got wrong.
+    mispredicted: Set[int] = field(default_factory=set)
+    #: Static branch pc -> (total, mispredicted) counts.
+    branch_counts: Dict[int, List[int]] = field(default_factory=dict)
+    total_l2_misses: int = 0
+
+    def miss_seqs_of(self, pc: int, trace: Trace) -> List[int]:
+        """Sequence numbers of the L2-missing instances of static pc."""
+        return [
+            seq
+            for seq in trace.occurrences(pc)
+            if self.service.get(seq) == MEM
+        ]
+
+    def miss_rate_l1(self, pc: int) -> float:
+        """L1 miss rate of a static load (used by equation E7)."""
+        total = self.load_counts.get(pc, 0)
+        if not total:
+            return 0.0
+        return self.l1_miss_counts.get(pc, 0) / total
+
+    def mispredict_rate(self, pc: int) -> float:
+        entry = self.branch_counts.get(pc)
+        if not entry or not entry[0]:
+            return 0.0
+        return entry[1] / entry[0]
+
+    def expected_service_latency(self, pc: int, latencies: Dict[str, float],
+                                 default: float) -> float:
+        """Mean wait of a static load given per-level latencies."""
+        counts = self.service_counts.get(pc)
+        if not counts:
+            return default
+        total = sum(counts)
+        return (
+            counts[0] * latencies[L1]
+            + counts[1] * latencies[L2]
+            + counts[2] * latencies[MEM]
+        ) / total
+
+
+def classify_trace(
+    trace: Trace, config: MachineConfig | None = None, warm: bool = True
+) -> LoadClassification:
+    """Classify every load and branch of ``trace`` functionally.
+
+    ``warm`` pre-touches every data access once (mirroring the timing
+    simulator's warm-up) so the profile reflects steady-state capacity
+    misses rather than cold misses.
+    """
+    config = config or MachineConfig()
+    dcache = Cache("l1d", config.dcache)
+    l2 = Cache("l2", config.l2)
+    predictor = HybridPredictor(config.bpred_entries)
+    result = LoadClassification()
+
+    if warm:
+        for dyn in trace:
+            if dyn.addr >= 0:
+                if not dcache.access(dyn.addr):
+                    if not l2.access(dyn.addr):
+                        l2.fill(dyn.addr)
+                    dcache.fill(dyn.addr)
+
+    service = result.service
+    miss_counts = result.miss_counts
+    load_counts = result.load_counts
+    l1_miss_counts = result.l1_miss_counts
+    service_counts = result.service_counts
+    line_shift = config.l2.line_bytes.bit_length() - 1
+    #: Line -> seq of the miss that brought it; a subsequent access within
+    #: one ROB's worth of instructions would merge with the outstanding
+    #: fill and wait nearly the full miss latency.
+    recent_miss: Dict[int, int] = {}
+    merge_window = config.rob_entries
+    _LEVEL_INDEX = {L1: 0, L2: 1, MEM: 2}
+
+    for dyn in trace:
+        op = dyn.op
+        if op is Op.LD:
+            pc = dyn.pc
+            load_counts[pc] = load_counts.get(pc, 0) + 1
+            line = dyn.addr >> line_shift
+            if dcache.access(dyn.addr):
+                level = L1
+            else:
+                l1_miss_counts[pc] = l1_miss_counts.get(pc, 0) + 1
+                if l2.access(dyn.addr):
+                    level = L2
+                else:
+                    level = MEM
+                    miss_counts[pc] = miss_counts.get(pc, 0) + 1
+                    result.total_l2_misses += 1
+                    recent_miss[line] = dyn.seq
+                    l2.fill(dyn.addr)
+                dcache.fill(dyn.addr)
+            if level != MEM:
+                initiator = recent_miss.get(line)
+                if initiator is not None and dyn.seq - initiator <= merge_window:
+                    level = MEM  # would merge with the in-flight fill
+            service[dyn.seq] = level
+            counts = service_counts.setdefault(pc, [0, 0, 0])
+            counts[_LEVEL_INDEX[level]] += 1
+        elif op is Op.ST:
+            if not dcache.access(dyn.addr, is_write=True):
+                if not l2.access(dyn.addr):
+                    l2.fill(dyn.addr)
+                dcache.fill(dyn.addr, dirty=True)
+        elif op.is_branch:
+            predicted = predictor.predict_and_update(dyn.pc, dyn.taken)
+            entry = result.branch_counts.setdefault(dyn.pc, [0, 0])
+            entry[0] += 1
+            if predicted != dyn.taken:
+                entry[1] += 1
+                result.mispredicted.add(dyn.seq)
+    return result

@@ -1,0 +1,162 @@
+"""Dependence-graph forward pass over a trace window.
+
+A lightweight instantiation of the Fields et al. critical-path model with
+three events per instruction -- dispatch (D), execute-start (E), commit
+(C) -- and edges for:
+
+- in-order fetch/dispatch bandwidth (1/width cycle per instruction),
+- branch misprediction (dispatch of post-branch instructions waits for
+  the branch to resolve plus a front-end refill),
+- dataflow (execute waits for producers' completions),
+- finite ROB (dispatch waits for the commit of the instruction ROB-size
+  earlier),
+- in-order commit at commit-width bandwidth.
+
+The pass is O(window length) and is re-run with modified load latencies
+to answer the "what if this load were faster" questions the load cost
+model asks (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import MachineConfig
+from repro.critpath.classify import L1, L2, MEM, LoadClassification
+from repro.frontend.trace import NO_PRODUCER, Trace
+from repro.isa.opcodes import Op, OpClass
+
+
+def service_latency(level: str, config: MachineConfig) -> int:
+    """Load-to-use latency for a service level."""
+    if level == MEM:
+        return (
+            config.dcache.hit_latency
+            + config.l2.hit_latency
+            + config.memory_latency
+        )
+    if level == L2:
+        return config.dcache.hit_latency + config.l2.hit_latency
+    return config.dcache.hit_latency
+
+
+class ForwardPass:
+    """Reusable forward-pass engine over one trace window."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: Optional[MachineConfig] = None,
+        classification: Optional[LoadClassification] = None,
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config or MachineConfig()
+        self.start = start
+        self.end = len(trace) if end is None else min(end, len(trace))
+        self._classification = classification
+
+        cfg = self.config
+        # Pre-extract per-instruction static latencies and dependences for
+        # speed; load latencies are replaced per run() call.
+        self._base_latency: List[float] = []
+        self._is_load: List[bool] = []
+        self._mispredicted: List[bool] = []
+        self._src1: List[int] = []
+        self._src2: List[int] = []
+        mispredicted = (
+            classification.mispredicted if classification else set()
+        )
+        for seq in range(self.start, self.end):
+            dyn = trace[seq]
+            cls = dyn.op.op_class
+            if cls is OpClass.LOAD:
+                level = (
+                    classification.service.get(dyn.seq, L1)
+                    if classification
+                    else L1
+                )
+                lat = float(service_latency(level, cfg))
+                self._is_load.append(True)
+            else:
+                self._is_load.append(False)
+                if cls is OpClass.MUL:
+                    lat = float(cfg.mul_latency)
+                elif cls in (OpClass.NOP, OpClass.HALT, OpClass.JUMP):
+                    lat = 0.0
+                else:
+                    lat = 1.0
+            self._base_latency.append(lat)
+            self._mispredicted.append(dyn.seq in mispredicted)
+            self._src1.append(dyn.src1_seq)
+            self._src2.append(dyn.src2_seq)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def run(self, latency_override: Optional[Dict[int, float]] = None) -> float:
+        """Execute the forward pass; return the window's execution time.
+
+        ``latency_override`` maps dynamic sequence numbers to replacement
+        latencies (the what-if knob of the load cost model).
+        """
+        cfg = self.config
+        n = len(self)
+        if n == 0:
+            return 0.0
+        start = self.start
+        width = float(cfg.width)
+        commit_w = float(cfg.commit_width)
+        rob = cfg.rob_entries
+        refill = float(cfg.frontend_depth)
+        latency = self._base_latency
+        src1 = self._src1
+        src2 = self._src2
+        mispred = self._mispredicted
+        override = latency_override or {}
+
+        comp: List[float] = [0.0] * n  # completion time of local index i
+        commit: List[float] = [0.0] * n
+        d_prev = 0.0
+        c_prev = 0.0
+        redirect_ready = 0.0
+
+        for i in range(n):
+            d = d_prev + 1.0 / width
+            if redirect_ready > d:
+                d = redirect_ready
+            if i >= rob:
+                rob_limit = commit[i - rob]
+                if rob_limit > d:
+                    d = rob_limit
+            e = d + 1.0
+            p = src1[i]
+            if p != NO_PRODUCER and p >= start:
+                t = comp[p - start]
+                if t > e:
+                    e = t
+            p = src2[i]
+            if p != NO_PRODUCER and p >= start:
+                t = comp[p - start]
+                if t > e:
+                    e = t
+            lat = override.get(start + i)
+            if lat is None:
+                lat = latency[i]
+            done = e + lat
+            comp[i] = done
+            c = done if done > c_prev + 1.0 / commit_w else c_prev + 1.0 / commit_w
+            commit[i] = c
+            c_prev = c
+            d_prev = d
+            if mispred[i]:
+                redirect_ready = done + refill
+
+        return commit[n - 1]
+
+    def load_seqs(self) -> List[int]:
+        """Sequence numbers of loads inside this window."""
+        return [
+            self.start + i for i, is_ld in enumerate(self._is_load) if is_ld
+        ]

@@ -1,0 +1,15 @@
+"""DDMT binary augmentation: from selected static p-threads to spawns.
+
+Speculative Data-Driven Multithreading (Roth & Sohi [18]) forks p-threads
+microarchitecturally: when the main thread renames a trigger, a register
+map checkpoint is handed to a free context, which then fetches and
+executes the fixed p-thread body.  Trace-driven equivalently: we replay
+the program functionally and, at every dynamic occurrence of a trigger
+PC, expand the p-thread body against the architectural state at that
+point, yielding the per-spawn instruction lists (with resolved load
+addresses and dependences) the timing simulator consumes.
+"""
+
+from repro.ddmt.augment import AugmentedProgram, expand_pthreads
+
+__all__ = ["AugmentedProgram", "expand_pthreads"]

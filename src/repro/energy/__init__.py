@@ -1,0 +1,24 @@
+"""Wattch-style energy modeling and energy-effectiveness metrics.
+
+The model follows the paper's Section 3.1 setup: per-structure access
+energies calibrated so a cycle in which every port of every structure is
+accessed matches the published breakdown (bpred/BTB 4.4%, I-cache/ITLB
+18.1%, window/ROB/result-bus 13.6%, regfile 14.2%, ALU 5.5%,
+D-cache/DTLB/LSQ 8.6%, L2 13.6%, clock 22%), plus an *idle energy factor*
+(default 5%) drawn every cycle regardless of activity.
+"""
+
+from repro.energy.breakdown import EnergyBreakdown
+from repro.energy.cacti import l2_access_energy_scale
+from repro.energy.metrics import ed, ed2, relative_metrics
+from repro.energy.wattch import EnergyModel, EnergyResult
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyResult",
+    "ed",
+    "ed2",
+    "l2_access_energy_scale",
+    "relative_metrics",
+]

@@ -1,0 +1,62 @@
+"""Energy breakdown categories matching the paper's Figures 2 and 3.
+
+The paper's energy stacks distinguish: fetch (instruction cache and TLB),
+structures accessed by p-loads (data cache/DTLB/LSQ), the L2, structures
+accessed by all p-instructions (decode, map table, window, ALU, register
+file, result bus), structures p-instructions never touch (branch
+predictor, ROB), and idle energy -- with main-thread accesses solid and
+p-thread accesses striped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Category keys in the paper's stacking order (bottom to top).
+CATEGORIES = (
+    "imem_main",
+    "dmem_main",
+    "l2_main",
+    "ooo_main",
+    "rob_bpred",
+    "idle",
+    "imem_pth",
+    "dmem_pth",
+    "l2_pth",
+    "ooo_pth",
+)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-category energy in joules."""
+
+    joules: Dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CATEGORIES}
+    )
+
+    def add(self, category: str, amount: float) -> None:
+        if category not in self.joules:
+            raise KeyError(f"unknown energy category {category!r}")
+        self.joules[category] += amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.joules.values())
+
+    @property
+    def pthread_total(self) -> float:
+        """Energy attributable to p-thread activity."""
+        return sum(v for k, v in self.joules.items() if k.endswith("_pth"))
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total or 1.0
+        return {k: v / total for k, v in self.joules.items()}
+
+    def relative_to(self, baseline_total: float) -> Dict[str, float]:
+        """Each category as a percentage of a baseline total (the paper's
+        stacks are normalized to the unoptimized run's 100%)."""
+        if baseline_total <= 0:
+            raise ValueError("baseline total must be positive")
+        return {k: 100.0 * v / baseline_total for k, v in self.joules.items()}

@@ -1,0 +1,29 @@
+"""CACTI-like cache energy scaling.
+
+The paper uses CACTI 3.0 for cache energy; we only need the *relative*
+change in per-access energy as the L2 grows or shrinks (Figure 5 bottom:
+"larger L2s ... consume more energy per access").  CACTI's dynamic access
+energy for set-associative SRAM grows roughly with the square root of
+capacity at fixed associativity and line size (bitline/wordline lengths
+scale with array edge), which is the law we use.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+#: The capacity at which the paper's 13.6% L2 share is calibrated.
+BASELINE_L2_BYTES = 256 * 1024
+
+
+def l2_access_energy_scale(size_bytes: int,
+                           baseline_bytes: int = BASELINE_L2_BYTES) -> float:
+    """Relative per-access energy of an L2 of ``size_bytes``.
+
+    Returns 1.0 at the baseline capacity, ~0.71 at half, ~1.41 at double.
+    """
+    if size_bytes <= 0 or baseline_bytes <= 0:
+        raise ConfigError("cache sizes must be positive")
+    return math.sqrt(size_bytes / baseline_bytes)

@@ -1,0 +1,48 @@
+"""Energy-effectiveness metrics: ED and ED^2.
+
+The paper uses energy-delay (Gonzalez & Horowitz [10]) and energy-delay
+squared (Martin et al. [16]); a technique is energy-effective when its
+relative-to-baseline ED (or ED^2) is below 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+def ed(energy: float, delay: float) -> float:
+    """Energy-delay product."""
+    return energy * delay
+
+
+def ed2(energy: float, delay: float) -> float:
+    """Energy-delay-squared product."""
+    return energy * delay * delay
+
+
+def relative_metrics(
+    base_delay: float,
+    base_energy: float,
+    new_delay: float,
+    new_energy: float,
+) -> Dict[str, float]:
+    """Relative improvements, as the paper reports them (in percent).
+
+    ``speedup_pct`` is the reduction in execution time, ``energy_save_pct``
+    the reduction in energy, ``ed_save_pct``/``ed2_save_pct`` the
+    reductions in ED and ED^2.  Positive numbers are improvements.
+    """
+    if base_delay <= 0 or base_energy <= 0:
+        raise ConfigError("baseline delay and energy must be positive")
+    return {
+        "speedup_pct": 100.0 * (1.0 - new_delay / base_delay),
+        "energy_save_pct": 100.0 * (1.0 - new_energy / base_energy),
+        "ed_save_pct": 100.0 * (
+            1.0 - ed(new_energy, new_delay) / ed(base_energy, base_delay)
+        ),
+        "ed2_save_pct": 100.0 * (
+            1.0 - ed2(new_energy, new_delay) / ed2(base_energy, base_delay)
+        ),
+    }

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ProgramError(ReproError):
+    """A program is malformed (bad operands, unresolved label, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Functional execution failed (bad memory access, runaway loop, ...)."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its legal range."""
+
+
+class SelectionError(ReproError):
+    """P-thread selection was asked to do something impossible."""
+
+
+class WorkloadError(ReproError):
+    """An unknown workload or input set was requested."""

@@ -1,0 +1,158 @@
+"""Dynamic trace containers."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterator, List, Optional
+
+from repro.isa.instruction import Program
+from repro.isa.opcodes import Op, OpClass
+
+#: Sentinel producer sequence number meaning "ready at program start".
+NO_PRODUCER = -1
+
+
+class DynInst:
+    """One dynamic instruction.
+
+    ``src1_seq``/``src2_seq`` are the trace sequence numbers of the dynamic
+    instructions that produced this instruction's register sources
+    (:data:`NO_PRODUCER` when the value predates the trace).  For loads and
+    stores ``addr`` is the effective byte address.  For branches ``taken``
+    records the resolved direction and ``next_pc`` the resolved successor.
+    """
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "op",
+        "src1_seq",
+        "src2_seq",
+        "addr",
+        "taken",
+        "next_pc",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op: Op,
+        src1_seq: int = NO_PRODUCER,
+        src2_seq: int = NO_PRODUCER,
+        addr: int = -1,
+        taken: bool = False,
+        next_pc: int = -1,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.src1_seq = src1_seq
+        self.src2_seq = src2_seq
+        self.addr = addr
+        self.taken = taken
+        self.next_pc = next_pc
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Op.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Op.ST
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.op.is_control
+
+    def __repr__(self) -> str:
+        return (
+            f"DynInst(seq={self.seq}, pc={self.pc}, op={self.op.value}, "
+            f"addr={self.addr}, taken={self.taken})"
+        )
+
+
+class Trace:
+    """A complete dynamic execution trace of the main thread."""
+
+    def __init__(self, program: Program, insts: List[DynInst]) -> None:
+        self.program = program
+        self.insts = insts
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __getitem__(self, seq: int) -> DynInst:
+        return self.insts[seq]
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self.insts)
+
+    def static_of(self, dyn: DynInst):
+        """The static instruction a dynamic instruction came from."""
+        return self.program[dyn.pc]
+
+    def count_by_class(self) -> Dict[OpClass, int]:
+        """Dynamic instruction counts per op class."""
+        counts: Counter = Counter()
+        for inst in self.insts:
+            counts[inst.op.op_class] += 1
+        return dict(counts)
+
+    def dynamic_loads_by_pc(self) -> Dict[int, List[int]]:
+        """Map static load PC -> sequence numbers of its dynamic instances."""
+        by_pc: Dict[int, List[int]] = defaultdict(list)
+        for inst in self.insts:
+            if inst.op is Op.LD:
+                by_pc[inst.pc].append(inst.seq)
+        return dict(by_pc)
+
+    def occurrences(self, pc: int) -> List[int]:
+        """Sequence numbers of all dynamic instances of static PC ``pc``."""
+        return [inst.seq for inst in self.insts if inst.pc == pc]
+
+    def branch_stats(self) -> Dict[int, Dict[str, int]]:
+        """Per-static-branch dynamic counts: total and taken."""
+        stats: Dict[int, Dict[str, int]] = {}
+        for inst in self.insts:
+            if inst.is_branch:
+                entry = stats.setdefault(inst.pc, {"total": 0, "taken": 0})
+                entry["total"] += 1
+                if inst.taken:
+                    entry["taken"] += 1
+        return stats
+
+    def summary(self) -> Dict[str, int]:
+        """Headline dynamic counts."""
+        by_class = self.count_by_class()
+        return {
+            "instructions": len(self.insts),
+            "loads": by_class.get(OpClass.LOAD, 0),
+            "stores": by_class.get(OpClass.STORE, 0),
+            "branches": by_class.get(OpClass.BRANCH, 0),
+        }
+
+
+class TraceWindow:
+    """A contiguous view over a region of a trace (used by the slicer)."""
+
+    def __init__(self, trace: Trace, start: int, end: int) -> None:
+        if not 0 <= start <= end <= len(trace):
+            raise IndexError(f"bad window [{start}, {end}) over {len(trace)} insts")
+        self.trace = trace
+        self.start = start
+        self.end = end
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __iter__(self) -> Iterator[DynInst]:
+        for seq in range(self.start, self.end):
+            yield self.trace[seq]
+
+    def contains(self, seq: int) -> bool:
+        return self.start <= seq < self.end

@@ -1,0 +1,15 @@
+"""Experiment harness: end-to-end runs and per-figure regenerators."""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    RunMeasurement,
+    run_baseline,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "RunMeasurement",
+    "run_baseline",
+    "run_experiment",
+]

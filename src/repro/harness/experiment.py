@@ -1,0 +1,253 @@
+"""End-to-end experiment runner.
+
+One experiment is the paper's basic unit of evaluation: profile a
+benchmark, select p-threads with PTHSEL(+E) under some target, augment
+the program, run baseline and augmented timing+energy simulations, and
+report relative latency/energy/ED metrics plus the pre-execution
+diagnostics of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import (
+    EnergyConfig,
+    MachineConfig,
+    SelectionConfig,
+    SimulationConfig,
+)
+from repro.cpu.pipeline import simulate
+from repro.cpu.stats import SimStats
+from repro.ddmt.augment import expand_pthreads
+from repro.energy.metrics import relative_metrics
+from repro.energy.wattch import EnergyModel, EnergyResult
+from repro.frontend.interpreter import interpret
+from repro.frontend.trace import Trace
+from repro.pthsel.framework import (
+    BaselineEstimates,
+    SelectionResult,
+    select_pthreads,
+)
+from repro.pthsel.targets import Target
+from repro.workloads.registry import get_program
+
+
+@dataclass
+class RunMeasurement:
+    """One timing + energy measurement."""
+
+    stats: SimStats
+    energy: EnergyResult
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def joules(self) -> float:
+        return self.energy.total_joules
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one (benchmark, target) experiment produced."""
+
+    benchmark: str
+    target: Target
+    baseline: RunMeasurement
+    optimized: RunMeasurement
+    selection: SelectionResult
+    metrics: Dict[str, float]
+
+    @property
+    def speedup_pct(self) -> float:
+        return self.metrics["speedup_pct"]
+
+    @property
+    def energy_save_pct(self) -> float:
+        return self.metrics["energy_save_pct"]
+
+    @property
+    def ed_save_pct(self) -> float:
+        return self.metrics["ed_save_pct"]
+
+    @property
+    def ed2_save_pct(self) -> float:
+        return self.metrics["ed2_save_pct"]
+
+    def diagnostics(self) -> Dict[str, float]:
+        """The Figure 3 second-panel quantities."""
+        opt = self.optimized.stats
+        base_misses = max(1, self.baseline.stats.demand_l2_misses)
+        return {
+            "full_coverage_pct": 100.0 * opt.covered_misses_full / base_misses,
+            "partial_coverage_pct": 100.0
+            * opt.covered_misses_partial
+            / base_misses,
+            "pinst_increase_pct": 100.0 * opt.pinst_increase,
+            "usefulness_pct": 100.0 * opt.usefulness,
+            "avg_pthread_length": self.selection.average_length,
+            "spawns": float(opt.spawns_started),
+        }
+
+    def summary_row(self) -> Dict[str, float]:
+        row = {
+            "speedup_pct": round(self.speedup_pct, 2),
+            "energy_save_pct": round(self.energy_save_pct, 2),
+            "ed_save_pct": round(self.ed_save_pct, 2),
+            "ed2_save_pct": round(self.ed2_save_pct, 2),
+        }
+        row.update({k: round(v, 2) for k, v in self.diagnostics().items()})
+        return row
+
+
+# --------------------------------------------------------------------- #
+# Baseline caching: sensitivity sweeps re-simulate the same baseline for
+# several targets; MachineConfig is frozen/hashable, so key on it.
+# --------------------------------------------------------------------- #
+
+_BASELINE_CACHE: Dict[Tuple, Tuple[Trace, SimStats]] = {}
+_BASELINE_CACHE_LIMIT = 24
+
+
+def _baseline_sim(
+    benchmark: str,
+    input_name: str,
+    machine: MachineConfig,
+    sim: SimulationConfig,
+) -> Tuple[Trace, SimStats]:
+    key = (benchmark, input_name, machine, sim.max_instructions)
+    hit = _BASELINE_CACHE.get(key)
+    if hit is not None:
+        return hit
+    program = get_program(benchmark, input_name)
+    trace = interpret(program, max_instructions=sim.max_instructions)
+    stats = simulate(trace, machine)
+    if len(_BASELINE_CACHE) >= _BASELINE_CACHE_LIMIT:
+        _BASELINE_CACHE.pop(next(iter(_BASELINE_CACHE)))
+    _BASELINE_CACHE[key] = (trace, stats)
+    return trace, stats
+
+
+def clear_baseline_cache() -> None:
+    """Drop memoized baseline simulations (tests use this)."""
+    _BASELINE_CACHE.clear()
+
+
+def run_baseline(
+    benchmark: str,
+    input_name: str = "train",
+    machine: Optional[MachineConfig] = None,
+    energy: Optional[EnergyConfig] = None,
+    sim: Optional[SimulationConfig] = None,
+) -> RunMeasurement:
+    """Simulate a benchmark without pre-execution."""
+    machine = machine or MachineConfig()
+    energy = energy or EnergyConfig()
+    sim = sim or SimulationConfig()
+    _, stats = _baseline_sim(benchmark, input_name, machine, sim)
+    model = EnergyModel(energy, machine)
+    return RunMeasurement(stats=stats, energy=model.evaluate(stats.activity))
+
+
+def run_experiment(
+    benchmark: str,
+    target: Target = Target.LATENCY,
+    profile_input: str = "train",
+    run_input: str = "train",
+    machine: Optional[MachineConfig] = None,
+    energy: Optional[EnergyConfig] = None,
+    selection: Optional[SelectionConfig] = None,
+    sim: Optional[SimulationConfig] = None,
+    include_branch_pthreads: bool = False,
+) -> ExperimentResult:
+    """Profile, select, augment, and measure one benchmark.
+
+    ``profile_input`` is the input set PTHSEL mines p-threads from;
+    ``run_input`` is the input the augmented program runs on.  The paper's
+    primary study uses ideal profiling (both "train"); the Figure 4
+    robustness study profiles on "ref" and runs on "train".
+
+    ``include_branch_pthreads`` additionally selects branch-outcome
+    p-threads (the paper's Section 7 extension) alongside the load
+    prefetching ones.
+    """
+    machine = machine or MachineConfig()
+    energy = energy or EnergyConfig()
+    selection = selection or SelectionConfig()
+    sim = sim or SimulationConfig()
+    model = EnergyModel(energy, machine)
+
+    # Baseline measurement on the run input.
+    run_trace, run_stats = _baseline_sim(benchmark, run_input, machine, sim)
+    baseline = RunMeasurement(
+        stats=run_stats, energy=model.evaluate(run_stats.activity)
+    )
+
+    # Profile (possibly a different input) supplies the selection inputs.
+    if profile_input == run_input:
+        profile_trace, profile_stats = run_trace, run_stats
+    else:
+        profile_trace, profile_stats = _baseline_sim(
+            benchmark, profile_input, machine, sim
+        )
+    profile_energy = model.evaluate(profile_stats.activity)
+    estimates = BaselineEstimates(
+        ipc=profile_stats.ipc,
+        l0=float(profile_stats.cycles),
+        e0=profile_energy.total_joules,
+    )
+
+    result = select_pthreads(
+        profile_trace,
+        estimates,
+        target=target,
+        machine=machine,
+        energy=energy,
+        selection=selection,
+    )
+    if include_branch_pthreads:
+        from repro.pthsel.branches import select_branch_pthreads
+
+        branch_result = select_branch_pthreads(
+            profile_trace,
+            estimates,
+            target=target,
+            machine=machine,
+            energy=energy,
+            selection=selection,
+            classification=result.classification,
+        )
+        result.pthreads = result.pthreads + branch_result.pthreads
+        for key, value in branch_result.predicted.items():
+            result.predicted[key] = result.predicted.get(key, 0.0) + value
+
+    # Augment the run program and measure.
+    program = get_program(benchmark, run_input)
+    augmented = expand_pthreads(
+        program,
+        result.pthreads,
+        max_instructions=sim.max_instructions,
+        reference_trace=run_trace if run_input == profile_input else None,
+    )
+    opt_stats = simulate(augmented.trace, machine, augmented.pthreads)
+    optimized = RunMeasurement(
+        stats=opt_stats, energy=model.evaluate(opt_stats.activity)
+    )
+
+    metrics = relative_metrics(
+        base_delay=float(baseline.cycles),
+        base_energy=baseline.joules,
+        new_delay=float(optimized.cycles),
+        new_energy=optimized.joules,
+    )
+    return ExperimentResult(
+        benchmark=benchmark,
+        target=target,
+        baseline=baseline,
+        optimized=optimized,
+        selection=result,
+        metrics=metrics,
+    )

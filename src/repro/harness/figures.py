@@ -1,0 +1,300 @@
+"""Per-figure/table regenerators.
+
+One function per experiment in the paper's evaluation:
+
+- :func:`figure2`  -- latency and energy breakdowns, unoptimized (N) vs
+  original-PTHSEL p-threads (O);
+- :func:`figure3`  -- improvements, diagnostics, and breakdowns for the
+  O/L/E/P targets across the suite;
+- :func:`table3`   -- model validation: actual vs predicted latency,
+  energy, and ED reductions;
+- :func:`figure4`  -- realistic profiling: select on "ref", run "train";
+- :func:`figure5_idle`, :func:`figure5_memory_latency`,
+  :func:`figure5_l2_size` -- the three sensitivity studies.
+
+Each returns plain data (lists of dict rows) so benchmarks, examples and
+tests can render or assert on them; ``render_*`` helpers produce the
+text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import EnergyConfig, MachineConfig, SelectionConfig
+from repro.cpu.stats import BREAKDOWN_CATEGORIES
+from repro.energy.breakdown import CATEGORIES as ENERGY_CATEGORIES
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.report import format_table, geometric_mean_pct
+from repro.pthsel.targets import Target
+from repro.workloads.registry import BENCHMARK_NAMES
+
+#: The three-benchmark subsets the paper's Figure 5 panels show.
+FIG5_IDLE_BENCHMARKS = ("gap", "vortex", "vpr.route")
+FIG5_MEMLAT_BENCHMARKS = ("gcc", "twolf", "vortex")
+FIG5_L2_BENCHMARKS = ("mcf", "twolf", "vortex")
+TABLE3_BENCHMARKS = ("gcc", "parser", "vortex", "vpr.place")
+
+
+def _latency_stack(result: ExperimentResult, run: str) -> Dict[str, float]:
+    """A latency breakdown normalized to the baseline run's 100%."""
+    measurement = result.baseline if run == "baseline" else result.optimized
+    baseline_cycles = result.baseline.cycles or 1
+    return {
+        c: 100.0 * getattr(measurement.stats.breakdown, c) / baseline_cycles
+        for c in BREAKDOWN_CATEGORIES
+    }
+
+
+def _energy_stack(result: ExperimentResult, run: str) -> Dict[str, float]:
+    """An energy breakdown normalized to the baseline run's 100%."""
+    measurement = result.baseline if run == "baseline" else result.optimized
+    return measurement.energy.breakdown.relative_to(result.baseline.joules)
+
+
+def _row(result: ExperimentResult) -> Dict[str, object]:
+    row: Dict[str, object] = {
+        "benchmark": result.benchmark,
+        "target": result.target.label,
+        "n_pthreads": result.selection.n_pthreads,
+    }
+    row.update(result.summary_row())
+    return row
+
+
+@dataclass
+class FigureData:
+    """Rows plus per-run breakdown stacks for one figure."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    latency_stacks: List[Dict[str, object]] = field(default_factory=list)
+    energy_stacks: List[Dict[str, object]] = field(default_factory=list)
+
+    def gmeans(self, metric: str = "speedup_pct") -> Dict[str, float]:
+        """Geometric-mean improvement per target across benchmarks."""
+        by_target: Dict[str, List[float]] = {}
+        for row in self.rows:
+            by_target.setdefault(str(row["target"]), []).append(
+                float(row[metric])
+            )
+        return {t: geometric_mean_pct(v) for t, v in by_target.items()}
+
+    def render(self) -> str:
+        return format_table(self.rows)
+
+
+def _collect(
+    benchmarks: Sequence[str],
+    targets: Sequence[Target],
+    profile_input: str = "train",
+    machine: Optional[MachineConfig] = None,
+    energy: Optional[EnergyConfig] = None,
+    selection: Optional[SelectionConfig] = None,
+    with_stacks: bool = True,
+) -> FigureData:
+    data = FigureData()
+    for benchmark in benchmarks:
+        first = True
+        for target in targets:
+            result = run_experiment(
+                benchmark,
+                target=target,
+                profile_input=profile_input,
+                machine=machine,
+                energy=energy,
+                selection=selection,
+            )
+            data.rows.append(_row(result))
+            if with_stacks:
+                if first:
+                    data.latency_stacks.append(
+                        {"benchmark": benchmark, "run": "N",
+                         **_latency_stack(result, "baseline")}
+                    )
+                    data.energy_stacks.append(
+                        {"benchmark": benchmark, "run": "N",
+                         **_energy_stack(result, "baseline")}
+                    )
+                    first = False
+                data.latency_stacks.append(
+                    {"benchmark": benchmark, "run": target.label,
+                     **_latency_stack(result, "optimized")}
+                )
+                data.energy_stacks.append(
+                    {"benchmark": benchmark, "run": target.label,
+                     **_energy_stack(result, "optimized")}
+                )
+    return data
+
+
+# --------------------------------------------------------------------- #
+# Figure 2: energy-blind pre-execution (N vs O).
+# --------------------------------------------------------------------- #
+
+
+def figure2(
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    machine: Optional[MachineConfig] = None,
+    energy: Optional[EnergyConfig] = None,
+) -> FigureData:
+    """Latency and energy breakdowns for unoptimized execution and
+    original-PTHSEL (energy-blind, flat-cost) pre-execution."""
+    return _collect(benchmarks, (Target.ORIGINAL,), machine=machine,
+                    energy=energy)
+
+
+# --------------------------------------------------------------------- #
+# Figure 3: retargeting with PTHSEL+E.
+# --------------------------------------------------------------------- #
+
+
+def figure3(
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    targets: Sequence[Target] = (
+        Target.ORIGINAL,
+        Target.LATENCY,
+        Target.ENERGY,
+        Target.ED,
+    ),
+    machine: Optional[MachineConfig] = None,
+    energy: Optional[EnergyConfig] = None,
+) -> FigureData:
+    """The paper's central study: O/L/E/P p-threads across the suite."""
+    return _collect(benchmarks, targets, machine=machine, energy=energy)
+
+
+# --------------------------------------------------------------------- #
+# Figure 4: robustness to profiling data.
+# --------------------------------------------------------------------- #
+
+
+def figure4(
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+) -> FigureData:
+    """Realistic profiling: p-threads selected from "ref" profiles drive
+    "train" runs."""
+    return _collect(benchmarks, targets, profile_input="ref",
+                    with_stacks=False)
+
+
+# --------------------------------------------------------------------- #
+# Table 3: model validation.
+# --------------------------------------------------------------------- #
+
+
+def table3(
+    benchmarks: Sequence[str] = TABLE3_BENCHMARKS,
+    target: Target = Target.LATENCY,
+) -> List[Dict[str, object]]:
+    """Actual / predicted ratios for latency, energy, and ED reductions.
+
+    Ratios near 1 mean the PTHSEL+E models predict the simulated effect
+    well; below 1 means over-estimation (the paper reports 0.64-0.93 for
+    latency with the criticality model).
+    """
+    rows: List[Dict[str, object]] = []
+    for benchmark in benchmarks:
+        result = run_experiment(benchmark, target=target)
+        predicted = result.selection.predicted
+        base = result.baseline
+        opt = result.optimized
+
+        actual_latency = float(base.cycles - opt.cycles)
+        actual_energy = base.joules - opt.joules
+        actual_ed = base.joules * base.cycles - opt.joules * opt.cycles
+
+        ladv = predicted.get("ladv_agg", 0.0)
+        eadv = predicted.get("eadv_agg", 0.0)
+        # The predicted ED reduction follows from the additive LADV/EADV
+        # totals (equation C3): predicted ED' = (L0-LADV)*(E0-EADV).
+        l0, e0 = float(base.cycles), base.joules
+        predicted_ed_reduction = l0 * e0 - max(l0 - ladv, 0.0) * max(
+            e0 - eadv, 0.0
+        )
+
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "latency_ratio": (
+                    actual_latency / ladv if ladv else float("nan")
+                ),
+                "energy_ratio": (
+                    actual_energy / eadv if eadv else float("nan")
+                ),
+                "ed_ratio": (
+                    actual_ed / predicted_ed_reduction
+                    if predicted_ed_reduction
+                    else float("nan")
+                ),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 5: sensitivity studies.
+# --------------------------------------------------------------------- #
+
+
+def figure5_idle(
+    benchmarks: Sequence[str] = FIG5_IDLE_BENCHMARKS,
+    factors: Sequence[float] = (0.0, 0.05, 0.10),
+    targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+) -> List[Dict[str, object]]:
+    """Idle energy factor sweep (Figure 5 top)."""
+    rows: List[Dict[str, object]] = []
+    for factor in factors:
+        energy = EnergyConfig().with_idle_factor(factor)
+        for benchmark in benchmarks:
+            for target in targets:
+                result = run_experiment(benchmark, target=target,
+                                        energy=energy)
+                row = _row(result)
+                row["idle_factor"] = factor
+                rows.append(row)
+    return rows
+
+
+def figure5_memory_latency(
+    benchmarks: Sequence[str] = FIG5_MEMLAT_BENCHMARKS,
+    latencies: Sequence[int] = (100, 200, 300),
+    targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+) -> List[Dict[str, object]]:
+    """Memory latency sweep (Figure 5 middle)."""
+    rows: List[Dict[str, object]] = []
+    for latency in latencies:
+        machine = MachineConfig().with_memory_latency(latency)
+        for benchmark in benchmarks:
+            for target in targets:
+                result = run_experiment(benchmark, target=target,
+                                        machine=machine)
+                row = _row(result)
+                row["memory_latency"] = latency
+                rows.append(row)
+    return rows
+
+
+def figure5_l2_size(
+    benchmarks: Sequence[str] = FIG5_L2_BENCHMARKS,
+    sizes: Sequence[Tuple[int, int]] = (
+        (128 * 1024, 10),
+        (256 * 1024, 12),
+        (512 * 1024, 15),
+    ),
+    targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+) -> List[Dict[str, object]]:
+    """L2 size/latency sweep (Figure 5 bottom)."""
+    rows: List[Dict[str, object]] = []
+    for size_bytes, hit_latency in sizes:
+        machine = MachineConfig().scaled_l2(size_bytes, hit_latency)
+        for benchmark in benchmarks:
+            for target in targets:
+                result = run_experiment(benchmark, target=target,
+                                        machine=machine)
+                row = _row(result)
+                row["l2_kb"] = size_bytes // 1024
+                row["l2_latency"] = hit_latency
+                rows.append(row)
+    return rows

@@ -1,0 +1,79 @@
+"""Plain-text report formatting for experiment results.
+
+The harness reports tables shaped like the paper's figures: one row per
+(benchmark, target) with the latency/energy/ED improvements and the
+pre-execution diagnostics, plus stacked-breakdown tables normalized to
+the unoptimized run (the paper's 100% bars).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def geometric_mean_pct(percent_gains: Iterable[float]) -> float:
+    """Geometric mean of percentage *reductions* (the paper's GMean).
+
+    Each gain g% corresponds to a ratio (1 - g/100); the result is the
+    percentage reduction of the geometric mean ratio.  Ratios must be
+    positive (a >=100% slowdown would be meaningless here).
+    """
+    ratios = [1.0 - g / 100.0 for g in percent_gains]
+    if not ratios:
+        return 0.0
+    if any(r <= 0 for r in ratios):
+        raise ValueError("cannot take the geometric mean through a 100% gain")
+    log_sum = sum(math.log(r) for r in ratios)
+    return 100.0 * (1.0 - math.exp(log_sum / len(ratios)))
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered = [[cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.rjust(w) for c, w in zip(columns, widths))
+    divider = "-" * len(header)
+    lines = [header, divider]
+    lines.extend(
+        "  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in rendered
+    )
+    return "\n".join(lines)
+
+
+def format_breakdown_stack(
+    label: str,
+    categories: Sequence[str],
+    percent_by_category: Mapping[str, float],
+) -> str:
+    """One normalized breakdown bar as text, e.g. ``mem=52.1 l2=3.0 ...``."""
+    parts = [f"{c}={percent_by_category.get(c, 0.0):.1f}" for c in categories]
+    return f"{label:16s} " + " ".join(parts)
+
+
+def summarize(results: List[Dict[str, float]], key: str) -> Dict[str, float]:
+    """Min/mean/gmean/max of one metric column across rows."""
+    values = [float(r[key]) for r in results]
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "gmean": geometric_mean_pct(values),
+        "max": max(values),
+    }

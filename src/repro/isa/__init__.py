@@ -1,0 +1,23 @@
+"""A small RISC ISA: opcodes, static instructions, and a program builder.
+
+The ISA deliberately mirrors the instruction classes that matter to the
+paper -- ALU operations, loads, stores, conditional branches, and jumps --
+without the encoding baggage of a real ISA.  Programs are lists of
+:class:`~repro.isa.instruction.StaticInst` addressed by index ("PC").
+"""
+
+from repro.isa.builder import DataSegment, ProgramBuilder
+from repro.isa.instruction import Program, StaticInst
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.registers import NUM_ARCH_REGS, Reg
+
+__all__ = [
+    "DataSegment",
+    "NUM_ARCH_REGS",
+    "Op",
+    "OpClass",
+    "Program",
+    "ProgramBuilder",
+    "Reg",
+    "StaticInst",
+]

@@ -1,0 +1,264 @@
+"""A small assembler-style DSL for constructing programs.
+
+The builder handles label resolution and data-segment layout so workload
+generators can read like assembly listings:
+
+>>> b = ProgramBuilder("demo")
+>>> arr = b.data.alloc("arr", 16)
+>>> b.li(Reg.r1, 0)
+>>> b.label("loop")
+>>> b.load(Reg.r2, Reg.r1, base_symbol="arr")
+>>> b.addi(Reg.r1, Reg.r1, 8)
+>>> b.blt(Reg.r1, 128, "loop", rhs_is_imm=True)
+>>> b.halt()
+>>> program = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.isa.instruction import Program, StaticInst
+from repro.isa.opcodes import Op
+from repro.isa.registers import check_reg
+
+WORD_BYTES = 8
+
+#: Scratch register reserved for immediate branch operands.
+_BRANCH_TEMP = 31
+
+
+class DataSegment:
+    """Allocates named regions in the data address space and fills them."""
+
+    def __init__(self, base: int = 0x10000) -> None:
+        self._next = base
+        self._regions: Dict[str, Tuple[int, int]] = {}
+        self.image: Dict[int, int] = {}
+
+    def alloc(self, name: str, n_words: int, align: int = 64) -> int:
+        """Reserve ``n_words`` 8-byte words under ``name``; return the base."""
+        if name in self._regions:
+            raise ProgramError(f"data region {name!r} allocated twice")
+        if n_words <= 0:
+            raise ProgramError("data regions must hold at least one word")
+        base = (self._next + align - 1) // align * align
+        self._regions[name] = (base, n_words)
+        self._next = base + n_words * WORD_BYTES
+        return base
+
+    def base(self, name: str) -> int:
+        try:
+            return self._regions[name][0]
+        except KeyError:
+            raise ProgramError(f"unknown data region {name!r}") from None
+
+    def size_words(self, name: str) -> int:
+        return self._regions[name][1]
+
+    def set_word(self, name: str, index: int, value: int) -> None:
+        """Initialize word ``index`` of region ``name``."""
+        base, n_words = self._regions[name]
+        if not 0 <= index < n_words:
+            raise ProgramError(f"index {index} out of range for region {name!r}")
+        self.image[base + index * WORD_BYTES] = value
+
+    def fill(self, name: str, values: List[int]) -> None:
+        """Initialize a region from a list of word values."""
+        for i, value in enumerate(values):
+            self.set_word(name, i, value)
+
+
+@dataclass
+class _Fixup:
+    index: int
+    label: str
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`~repro.isa.instruction.Program`."""
+
+    def __init__(self, name: str, data_base: int = 0x10000) -> None:
+        self.name = name
+        self.data = DataSegment(data_base)
+        self._insts: List[StaticInst] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[_Fixup] = []
+        self._initial_regs: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Label and layout management.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def here(self) -> int:
+        """The PC the next emitted instruction will occupy."""
+        return len(self._insts)
+
+    def label(self, name: str) -> int:
+        """Bind ``name`` to the current PC."""
+        if name in self._labels:
+            raise ProgramError(f"label {name!r} defined twice")
+        self._labels[name] = self.here
+        return self.here
+
+    def set_reg(self, reg: int, value: int) -> None:
+        """Set an initial architectural register value."""
+        self._initial_regs[check_reg(reg)] = value
+
+    def _emit(self, **kwargs: object) -> StaticInst:
+        inst = StaticInst(pc=self.here, **kwargs)  # type: ignore[arg-type]
+        self._insts.append(inst)
+        return inst
+
+    def _emit_control(self, label: str, **kwargs: object) -> StaticInst:
+        """Emit a control instruction whose target is patched at build()."""
+        inst = StaticInst(pc=self.here, target=0, **kwargs)  # type: ignore[arg-type]
+        self._insts.append(inst)
+        self._fixups.append(_Fixup(index=len(self._insts) - 1, label=label))
+        return inst
+
+    # ------------------------------------------------------------------ #
+    # ALU instructions.
+    # ------------------------------------------------------------------ #
+
+    def li(self, rd: int, imm: int, annotation: str = "") -> None:
+        self._emit(op=Op.LI, rd=rd, imm=imm, annotation=annotation)
+
+    def mov(self, rd: int, rs: int, annotation: str = "") -> None:
+        self._emit(op=Op.MOV, rd=rd, rs1=rs, annotation=annotation)
+
+    def add(self, rd: int, rs1: int, rs2: int, annotation: str = "") -> None:
+        self._emit(op=Op.ADD, rd=rd, rs1=rs1, rs2=rs2, annotation=annotation)
+
+    def addi(self, rd: int, rs1: int, imm: int, annotation: str = "") -> None:
+        self._emit(op=Op.ADDI, rd=rd, rs1=rs1, imm=imm, annotation=annotation)
+
+    def sub(self, rd: int, rs1: int, rs2: int, annotation: str = "") -> None:
+        self._emit(op=Op.SUB, rd=rd, rs1=rs1, rs2=rs2, annotation=annotation)
+
+    def mul(self, rd: int, rs1: int, rs2: int, annotation: str = "") -> None:
+        self._emit(op=Op.MUL, rd=rd, rs1=rs1, rs2=rs2, annotation=annotation)
+
+    def and_(self, rd: int, rs1: int, rs2: int, annotation: str = "") -> None:
+        self._emit(op=Op.AND, rd=rd, rs1=rs1, rs2=rs2, annotation=annotation)
+
+    def andi(self, rd: int, rs1: int, imm: int, annotation: str = "") -> None:
+        self._emit(op=Op.ANDI, rd=rd, rs1=rs1, imm=imm, annotation=annotation)
+
+    def or_(self, rd: int, rs1: int, rs2: int, annotation: str = "") -> None:
+        self._emit(op=Op.OR, rd=rd, rs1=rs1, rs2=rs2, annotation=annotation)
+
+    def xor(self, rd: int, rs1: int, rs2: int, annotation: str = "") -> None:
+        self._emit(op=Op.XOR, rd=rd, rs1=rs1, rs2=rs2, annotation=annotation)
+
+    def shli(self, rd: int, rs1: int, imm: int, annotation: str = "") -> None:
+        self._emit(op=Op.SHLI, rd=rd, rs1=rs1, imm=imm, annotation=annotation)
+
+    def shri(self, rd: int, rs1: int, imm: int, annotation: str = "") -> None:
+        self._emit(op=Op.SHRI, rd=rd, rs1=rs1, imm=imm, annotation=annotation)
+
+    def slti(self, rd: int, rs1: int, imm: int, annotation: str = "") -> None:
+        self._emit(op=Op.SLTI, rd=rd, rs1=rs1, imm=imm, annotation=annotation)
+
+    def nop(self) -> None:
+        self._emit(op=Op.NOP)
+
+    # ------------------------------------------------------------------ #
+    # Memory instructions.
+    # ------------------------------------------------------------------ #
+
+    def load(
+        self,
+        rd: int,
+        base: int,
+        imm: int = 0,
+        base_symbol: Optional[str] = None,
+        annotation: str = "",
+    ) -> StaticInst:
+        """``rd = M[base + imm]``; if ``base_symbol``, add that region's base."""
+        if base_symbol is not None:
+            imm += self.data.base(base_symbol)
+        return self._emit(op=Op.LD, rd=rd, rs1=base, imm=imm, annotation=annotation)
+
+    def store(
+        self,
+        src: int,
+        base: int,
+        imm: int = 0,
+        base_symbol: Optional[str] = None,
+        annotation: str = "",
+    ) -> StaticInst:
+        """``M[base + imm] = src``."""
+        if base_symbol is not None:
+            imm += self.data.base(base_symbol)
+        return self._emit(op=Op.ST, rs1=base, rs2=src, imm=imm, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Control instructions.  ``rhs_is_imm`` materializes the comparison
+    # constant into a scratch register, as a real compiler would.
+    # ------------------------------------------------------------------ #
+
+    def _branch(
+        self,
+        op: Op,
+        rs1: int,
+        rhs: int,
+        label: str,
+        rhs_is_imm: bool,
+        annotation: str,
+    ) -> None:
+        if rhs_is_imm:
+            self.li(_BRANCH_TEMP, rhs)
+            rhs = _BRANCH_TEMP
+        self._emit_control(label, op=op, rs1=rs1, rs2=rhs, annotation=annotation)
+
+    def beq(self, rs1: int, rhs: int, label: str, rhs_is_imm: bool = False,
+            annotation: str = "") -> None:
+        self._branch(Op.BEQ, rs1, rhs, label, rhs_is_imm, annotation)
+
+    def bne(self, rs1: int, rhs: int, label: str, rhs_is_imm: bool = False,
+            annotation: str = "") -> None:
+        self._branch(Op.BNE, rs1, rhs, label, rhs_is_imm, annotation)
+
+    def blt(self, rs1: int, rhs: int, label: str, rhs_is_imm: bool = False,
+            annotation: str = "") -> None:
+        self._branch(Op.BLT, rs1, rhs, label, rhs_is_imm, annotation)
+
+    def bge(self, rs1: int, rhs: int, label: str, rhs_is_imm: bool = False,
+            annotation: str = "") -> None:
+        self._branch(Op.BGE, rs1, rhs, label, rhs_is_imm, annotation)
+
+    def jump(self, label: str, annotation: str = "") -> None:
+        self._emit_control(label, op=Op.JMP, annotation=annotation)
+
+    def halt(self) -> None:
+        self._emit(op=Op.HALT)
+
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished program."""
+        insts = list(self._insts)
+        for fixup in self._fixups:
+            if fixup.label not in self._labels:
+                raise ProgramError(f"undefined label {fixup.label!r}")
+            old = insts[fixup.index]
+            insts[fixup.index] = StaticInst(
+                pc=old.pc,
+                op=old.op,
+                rd=old.rd,
+                rs1=old.rs1,
+                rs2=old.rs2,
+                imm=old.imm,
+                target=self._labels[fixup.label],
+                annotation=old.annotation,
+            )
+        return Program(
+            name=self.name,
+            instructions=insts,
+            data=dict(self.data.image),
+            initial_regs=dict(self._initial_regs),
+        )

@@ -1,0 +1,155 @@
+"""Opcode definitions and functional semantics.
+
+Values are 64-bit two's-complement integers; arithmetic wraps.  Loads and
+stores move aligned 8-byte words.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def _wrap(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's complement."""
+    value &= _MASK
+    return value - (1 << 64) if value & _SIGN else value
+
+
+class OpClass(enum.Enum):
+    """Coarse instruction class used by the timing and energy models."""
+
+    ALU = "alu"
+    MUL = "mul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    NOP = "nop"
+    HALT = "halt"
+
+
+class Op(enum.Enum):
+    """Instruction opcodes."""
+
+    # ALU register-register / register-immediate.
+    ADD = "add"
+    ADDI = "addi"
+    SUB = "sub"
+    AND = "and"
+    ANDI = "andi"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHLI = "shli"
+    SHR = "shr"
+    SHRI = "shri"
+    SLT = "slt"
+    SLTI = "slti"
+    MUL = "mul"
+    LI = "li"  # rd = imm
+    MOV = "mov"  # rd = rs1
+
+    # Memory: LD rd, imm(rs1); ST rs2, imm(rs1).
+    LD = "ld"
+    ST = "st"
+
+    # Control: conditional branches compare rs1 against rs2 (or zero).
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+
+    NOP = "nop"
+    HALT = "halt"
+
+    @property
+    def op_class(self) -> OpClass:
+        return _OP_CLASS[self]
+
+    @property
+    def is_load(self) -> bool:
+        return self is Op.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self is Op.ST
+
+    @property
+    def is_branch(self) -> bool:
+        return _OP_CLASS[self] is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return _OP_CLASS[self] in (OpClass.BRANCH, OpClass.JUMP)
+
+    @property
+    def writes_register(self) -> bool:
+        return _OP_CLASS[self] in (OpClass.ALU, OpClass.MUL, OpClass.LOAD)
+
+
+_OP_CLASS: Dict[Op, OpClass] = {
+    Op.ADD: OpClass.ALU,
+    Op.ADDI: OpClass.ALU,
+    Op.SUB: OpClass.ALU,
+    Op.AND: OpClass.ALU,
+    Op.ANDI: OpClass.ALU,
+    Op.OR: OpClass.ALU,
+    Op.XOR: OpClass.ALU,
+    Op.SHL: OpClass.ALU,
+    Op.SHLI: OpClass.ALU,
+    Op.SHR: OpClass.ALU,
+    Op.SHRI: OpClass.ALU,
+    Op.SLT: OpClass.ALU,
+    Op.SLTI: OpClass.ALU,
+    Op.MUL: OpClass.MUL,
+    Op.LI: OpClass.ALU,
+    Op.MOV: OpClass.ALU,
+    Op.LD: OpClass.LOAD,
+    Op.ST: OpClass.STORE,
+    Op.BEQ: OpClass.BRANCH,
+    Op.BNE: OpClass.BRANCH,
+    Op.BLT: OpClass.BRANCH,
+    Op.BGE: OpClass.BRANCH,
+    Op.JMP: OpClass.JUMP,
+    Op.NOP: OpClass.NOP,
+    Op.HALT: OpClass.HALT,
+}
+
+#: Functional semantics of ALU/MUL ops: (a, b) -> result, where ``b`` is the
+#: second register operand or the immediate, depending on the opcode.
+ALU_SEMANTICS: Dict[Op, Callable[[int, int], int]] = {
+    Op.ADD: lambda a, b: _wrap(a + b),
+    Op.ADDI: lambda a, b: _wrap(a + b),
+    Op.SUB: lambda a, b: _wrap(a - b),
+    Op.AND: lambda a, b: a & b,
+    Op.ANDI: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: _wrap(a << (b & 63)),
+    Op.SHLI: lambda a, b: _wrap(a << (b & 63)),
+    Op.SHR: lambda a, b: _wrap((a & _MASK) >> (b & 63)),
+    Op.SHRI: lambda a, b: _wrap((a & _MASK) >> (b & 63)),
+    Op.SLT: lambda a, b: int(a < b),
+    Op.SLTI: lambda a, b: int(a < b),
+    Op.MUL: lambda a, b: _wrap(a * b),
+    Op.LI: lambda a, b: b,
+    Op.MOV: lambda a, b: a,
+}
+
+#: Branch semantics: (a, b) -> taken?
+BRANCH_SEMANTICS: Dict[Op, Callable[[int, int], bool]] = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}
+
+#: Opcodes whose second source operand comes from the immediate field.
+IMMEDIATE_OPS = frozenset(
+    {Op.ADDI, Op.ANDI, Op.SHLI, Op.SHRI, Op.SLTI, Op.LI}
+)

@@ -1,0 +1,29 @@
+"""Architectural register names.
+
+The ISA has 32 integer registers.  ``r0`` is hardwired to zero (writes are
+discarded), matching the Alpha convention the paper's toolchain used.
+"""
+
+from __future__ import annotations
+
+NUM_ARCH_REGS = 32
+
+#: The hardwired-zero register.
+ZERO = 0
+
+
+class Reg:
+    """Symbolic register numbers, ``Reg.r0`` .. ``Reg.r31``."""
+
+    r0 = 0
+
+
+for _i in range(1, NUM_ARCH_REGS):
+    setattr(Reg, f"r{_i}", _i)
+
+
+def check_reg(index: int) -> int:
+    """Validate a register index, returning it unchanged."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return index

@@ -1,0 +1,14 @@
+"""Two-level on-chip memory hierarchy with TLBs, MSHRs, and buses.
+
+Default geometry follows the paper (Section 3.1): 32KB/2-way/1-cycle L1I,
+16KB/2-way/2-cycle L1D, 256KB/4-way/12-cycle unified L2, 64-entry I/D TLBs,
+16 outstanding misses, 16-byte buses with the memory bus clocked at 1/4
+core frequency, and an infinite 200-cycle main memory.
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLB
+
+__all__ = ["AccessResult", "Cache", "CacheStats", "MSHRFile", "MemoryHierarchy", "TLB"]

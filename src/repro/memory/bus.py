@@ -1,0 +1,46 @@
+"""Simple occupancy-based bus models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BusStats:
+    transfers: int = 0
+    busy_cycles: int = 0
+    queue_delay: int = 0
+
+
+class Bus:
+    """A bus that serializes line transfers.
+
+    A transfer of ``line_bytes`` over a ``width_bytes`` bus clocked at
+    ``1/divisor`` of the core frequency occupies the bus for
+    ``(line_bytes / width_bytes) * divisor`` core cycles.
+    """
+
+    def __init__(self, name: str, width_bytes: int, divisor: int = 1) -> None:
+        self.name = name
+        self.width_bytes = width_bytes
+        self.divisor = divisor
+        self.stats = BusStats()
+        self._free_at = 0
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        beats = (n_bytes + self.width_bytes - 1) // self.width_bytes
+        return beats * self.divisor
+
+    def acquire(self, request_time: int, n_bytes: int) -> int:
+        """Schedule a transfer; return its completion time."""
+        start = max(request_time, self._free_at)
+        duration = self.transfer_cycles(n_bytes)
+        self._free_at = start + duration
+        self.stats.transfers += 1
+        self.stats.busy_cycles += duration
+        self.stats.queue_delay += start - request_time
+        return start + duration
+
+    def reset(self) -> None:
+        self._free_at = 0
+        self.stats = BusStats()

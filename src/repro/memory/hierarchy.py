@@ -1,0 +1,237 @@
+"""The composed memory hierarchy the timing simulator talks to.
+
+The hierarchy owns the L1I/L1D/L2 caches, I/D TLBs, MSHR file, and the L2
+and memory buses.  Each access returns an :class:`AccessResult` carrying
+the completion time plus the structure-activity flags the energy model
+needs.  Pre-execution (p-thread) accesses fill the L2 but bypass the L1
+by default, matching DDMT (Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import MachineConfig
+from repro.memory.bus import Bus
+from repro.memory.cache import Cache
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLB
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one data-side access."""
+
+    complete_at: int
+    l1_hit: bool = False
+    l2_accessed: bool = False
+    l2_hit: bool = False
+    mem_access: bool = False
+    mshr_merged: bool = False
+    #: The merge target was an in-flight p-thread prefetch (partial cover).
+    merged_with_prefetch: bool = False
+    #: A demand access that hit in L2 on a p-thread-prefetched line.
+    prefetched_hit: bool = False
+    tlb_miss: bool = False
+    #: The access could not even allocate an MSHR; retry next cycle.
+    retry: bool = False
+
+
+class MemoryHierarchy:
+    """Two-level hierarchy with a shared L2 and infinite main memory."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.icache = Cache("l1i", config.icache)
+        self.dcache = Cache("l1d", config.dcache)
+        self.l2 = Cache("l2", config.l2)
+        self.itlb = TLB("itlb", config.itlb_entries, config.page_bytes,
+                        config.tlb_miss_latency)
+        self.dtlb = TLB("dtlb", config.dtlb_entries, config.page_bytes,
+                        config.tlb_miss_latency)
+        self.mshrs = MSHRFile(config.mshr_entries, on_expire=self._install)
+        self.l2_bus = Bus("l2", config.bus_bytes, divisor=1)
+        self.mem_bus = Bus("mem", config.bus_bytes,
+                           divisor=config.memory_bus_divisor)
+        # Diagnostics the harness reports.
+        self.demand_l2_misses = 0
+        self.pthread_l2_misses = 0
+        self.prefetched_hits = 0
+        self._prefetched_lines: set = set()
+
+    def _install(self, line: int, fill_time: int, is_pthread: bool,
+                 wants_l1: bool, dirty: bool) -> None:
+        """MSHR expiry hook: the fill has arrived, install the line.
+
+        Installation is deferred to fill time (rather than performed when
+        the miss is initiated) so that accesses issued while the line is
+        in flight merge with the MSHR entry instead of hitting a cache
+        that does not really hold the data yet.
+        """
+        victim = self.l2.fill(line)
+        if victim is not None:
+            self.mem_bus.acquire(fill_time, self.config.l2.line_bytes)
+        if wants_l1:
+            self.dcache.fill(line, dirty=dirty)
+        if is_pthread:
+            self._prefetched_lines.add(line)
+        else:
+            self._prefetched_lines.discard(line)
+
+    # ------------------------------------------------------------------ #
+
+    def _miss_to_memory(self, line: int, request_time: int) -> int:
+        """Charge a full L2-miss path for ``line``; return fill time."""
+        latency_start = request_time
+        mem_done = latency_start + self.config.memory_latency
+        # The returning line occupies the memory bus.
+        fill_time = self.mem_bus.acquire(mem_done, self.config.l2.line_bytes)
+        return fill_time
+
+    def data_access(
+        self,
+        addr: int,
+        now: int,
+        is_write: bool = False,
+        is_pthread: bool = False,
+    ) -> AccessResult:
+        """Perform a load/store data access starting at cycle ``now``.
+
+        Returns when the value is available (loads) or the line is owned
+        (stores).  P-thread accesses honor DDMT's L2-only fill policy.
+        """
+        cfg = self.config
+        tlb_extra = self.dtlb.access(addr)
+        t = now + tlb_extra
+        fill_l1 = not is_pthread or cfg.pthread_fill_l1
+        self.mshrs.sync(t)  # land any fills that completed before this access
+
+        l1_hit = self.dcache.access(addr, is_write=is_write)
+        if l1_hit:
+            return AccessResult(
+                complete_at=t + cfg.dcache.hit_latency,
+                l1_hit=True,
+                tlb_miss=tlb_extra > 0,
+            )
+
+        # L1 miss: go to L2 after the L1 lookup.
+        t += cfg.dcache.hit_latency
+        line = self.l2.line_of(addr)
+
+        # A line already in flight?  Merge with the outstanding miss.
+        outstanding = self.mshrs.lookup(line, t)
+        if outstanding is not None:
+            merged_with_prefetch = (
+                not is_pthread and self.mshrs.pthread_owned(line, t)
+            )
+            self.mshrs.stats.merges += 1
+            self.mshrs.merge_flags(line, wants_l1=fill_l1, dirty=is_write)
+            complete = max(outstanding, t + cfg.l2.hit_latency)
+            return AccessResult(
+                complete_at=complete,
+                l2_accessed=False,
+                mshr_merged=True,
+                merged_with_prefetch=merged_with_prefetch,
+                tlb_miss=tlb_extra > 0,
+            )
+
+        l2_hit = self.l2.access(addr, is_write=False)
+        if l2_hit:
+            done = self.l2_bus.acquire(t + cfg.l2.hit_latency,
+                                       cfg.dcache.line_bytes)
+            if fill_l1:
+                self.dcache.fill(addr, dirty=is_write)
+            prefetched_hit = False
+            if not is_pthread and line in self._prefetched_lines:
+                self.prefetched_hits += 1
+                self._prefetched_lines.discard(line)
+                prefetched_hit = True
+            return AccessResult(
+                complete_at=done,
+                l2_accessed=True,
+                l2_hit=True,
+                prefetched_hit=prefetched_hit,
+                tlb_miss=tlb_extra > 0,
+            )
+
+        # L2 miss: needs an MSHR and a trip to memory.  Capacity must be
+        # checked before touching the memory bus: a rejected miss must not
+        # reserve bus cycles it will re-request on retry.  The line is NOT
+        # installed into the caches here -- it lands via the MSHR expiry
+        # hook at fill time, so in-flight accesses merge rather than hit.
+        if not self.mshrs.has_capacity(line, t):
+            self.mshrs.stats.full_stalls += 1
+            return AccessResult(complete_at=t, retry=True,
+                                tlb_miss=tlb_extra > 0)
+        fill_time = self._miss_to_memory(line, t + cfg.l2.hit_latency)
+        self.mshrs.allocate(
+            line,
+            fill_time,
+            t,
+            is_pthread=is_pthread,
+            wants_l1=fill_l1,
+            dirty=is_write,
+        )
+        if is_pthread:
+            self.pthread_l2_misses += 1
+        else:
+            self.demand_l2_misses += 1
+        return AccessResult(
+            complete_at=fill_time,
+            l2_accessed=True,
+            l2_hit=False,
+            mem_access=True,
+            tlb_miss=tlb_extra > 0,
+        )
+
+    def inst_fetch(self, addr: int, now: int) -> AccessResult:
+        """Fetch one instruction block starting at cycle ``now``."""
+        cfg = self.config
+        tlb_extra = self.itlb.access(addr)
+        t = now + tlb_extra
+
+        if self.icache.access(addr):
+            return AccessResult(
+                complete_at=t + cfg.icache.hit_latency,
+                l1_hit=True,
+                tlb_miss=tlb_extra > 0,
+            )
+        t += cfg.icache.hit_latency
+        if self.l2.access(addr):
+            done = self.l2_bus.acquire(t + cfg.l2.hit_latency,
+                                       cfg.icache.line_bytes)
+            self.icache.fill(addr)
+            return AccessResult(
+                complete_at=done,
+                l2_accessed=True,
+                l2_hit=True,
+                tlb_miss=tlb_extra > 0,
+            )
+        fill_time = self._miss_to_memory(self.l2.line_of(addr),
+                                         t + cfg.l2.hit_latency)
+        self.l2.fill(addr)
+        self.icache.fill(addr)
+        return AccessResult(
+            complete_at=fill_time,
+            l2_accessed=True,
+            l2_hit=False,
+            mem_access=True,
+            tlb_miss=tlb_extra > 0,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def warm_data(self, addr: int) -> None:
+        """Functionally touch a data address (cache warm-up, no timing)."""
+        if not self.dcache.access(addr):
+            if not self.l2.access(addr):
+                self.l2.fill(addr)
+            self.dcache.fill(addr)
+
+    def warm_inst(self, addr: int) -> None:
+        """Functionally touch an instruction address."""
+        if not self.icache.access(addr):
+            if not self.l2.access(addr):
+                self.l2.fill(addr)
+            self.icache.fill(addr)

@@ -1,0 +1,124 @@
+"""Miss status holding registers: track and merge outstanding L2 misses.
+
+The MSHR file is also the point where cache fills become visible: a
+missing line is *not* installed into the caches when the miss is
+initiated (that would let dependent accesses hit instantly, breaking
+pointer-chase timing); instead the file holds the line until its fill
+time passes and then hands it to an ``on_expire`` callback that performs
+the actual cache installation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+#: on_expire(line, fill_time, is_pthread, wants_l1, dirty)
+ExpireHook = Callable[[int, int, bool, bool, bool], None]
+
+
+@dataclass
+class MSHRStats:
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+
+
+class _Entry:
+    __slots__ = ("fill_time", "is_pthread", "wants_l1", "dirty")
+
+    def __init__(self, fill_time: int, is_pthread: bool,
+                 wants_l1: bool, dirty: bool) -> None:
+        self.fill_time = fill_time
+        self.is_pthread = is_pthread
+        self.wants_l1 = wants_l1
+        self.dirty = dirty
+
+
+class MSHRFile:
+    """A finite file of miss status holding registers.
+
+    A new miss to an already-outstanding line merges with the existing
+    entry and completes when it does.  When all entries are busy, new
+    misses must retry (the CPU re-issues the load next cycle).  Each entry
+    remembers whether a p-thread allocated it, so demand accesses that
+    merge with an in-flight prefetch can be counted as partially covered
+    misses (the paper's Figure 3 "part-cov" bars).
+    """
+
+    def __init__(self, entries: int,
+                 on_expire: Optional[ExpireHook] = None) -> None:
+        self.entries = entries
+        self.stats = MSHRStats()
+        self.on_expire = on_expire
+        self._outstanding: Dict[int, _Entry] = {}
+
+    def sync(self, now: int) -> None:
+        """Retire every entry whose fill time has passed, installing its
+        line into the caches via ``on_expire``."""
+        if not self._outstanding:
+            return
+        done: List[int] = [
+            line
+            for line, entry in self._outstanding.items()
+            if entry.fill_time <= now
+        ]
+        for line in done:
+            entry = self._outstanding.pop(line)
+            if self.on_expire is not None:
+                self.on_expire(
+                    line,
+                    entry.fill_time,
+                    entry.is_pthread,
+                    entry.wants_l1,
+                    entry.dirty,
+                )
+
+    def lookup(self, line: int, now: int) -> Optional[int]:
+        """If ``line`` is outstanding at ``now``, return its fill time."""
+        self.sync(now)
+        entry = self._outstanding.get(line)
+        return entry.fill_time if entry is not None else None
+
+    def pthread_owned(self, line: int, now: int) -> bool:
+        """Was the outstanding miss for ``line`` initiated by a p-thread?"""
+        self.sync(now)
+        entry = self._outstanding.get(line)
+        return entry is not None and entry.is_pthread
+
+    def merge_flags(self, line: int, wants_l1: bool, dirty: bool) -> None:
+        """Fold a merging access's fill requirements into the entry."""
+        entry = self._outstanding.get(line)
+        if entry is not None:
+            entry.wants_l1 = entry.wants_l1 or wants_l1
+            entry.dirty = entry.dirty or dirty
+
+    def has_capacity(self, line: int, now: int) -> bool:
+        """Could a miss to ``line`` be accepted at ``now``?
+
+        True when the line is already outstanding (it would merge) or a
+        free entry exists.  Callers must check this *before* committing
+        bus/memory resources to the miss.
+        """
+        self.sync(now)
+        return line in self._outstanding or len(self._outstanding) < self.entries
+
+    def allocate(self, line: int, fill_time: int, now: int,
+                 is_pthread: bool = False, wants_l1: bool = False,
+                 dirty: bool = False) -> bool:
+        """Reserve an entry for ``line``; False if the file is full."""
+        self.sync(now)
+        if line in self._outstanding:
+            self.stats.merges += 1
+            self.merge_flags(line, wants_l1, dirty)
+            return True
+        if len(self._outstanding) >= self.entries:
+            self.stats.full_stalls += 1
+            return False
+        self._outstanding[line] = _Entry(fill_time, is_pthread, wants_l1, dirty)
+        self.stats.allocations += 1
+        return True
+
+    def occupancy(self, now: int) -> int:
+        self.sync(now)
+        return len(self._outstanding)

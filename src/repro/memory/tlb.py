@@ -1,0 +1,47 @@
+"""Fully associative TLBs with LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """A fully associative translation lookaside buffer.
+
+    Translation is identity (the simulator runs physically-addressed); the
+    TLB exists to charge miss latency and energy like the paper's 64-entry
+    I/D TLBs.
+    """
+
+    def __init__(self, name: str, entries: int, page_bytes: int,
+                 miss_latency: int) -> None:
+        self.name = name
+        self.entries = entries
+        self.page_shift = page_bytes.bit_length() - 1
+        self.miss_latency = miss_latency
+        self.stats = TLBStats()
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, addr: int) -> int:
+        """Translate; return the added latency (0 on hit)."""
+        self.stats.accesses += 1
+        page = addr >> self.page_shift
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return 0
+        self.stats.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+        return self.miss_latency

@@ -1,0 +1,22 @@
+"""PTHSEL and PTHSEL+E: analytical p-thread selection.
+
+This package is the paper's primary contribution.  It implements:
+
+- the original PTHSEL latency model (Table 1, equations L1-L7) with its
+  flat cycle-for-cycle load cost assumption ("O" p-threads);
+- the criticality-based load cost extension (Section 4.1), which feeds a
+  per-problem-load latency-to-execution-time function from
+  :mod:`repro.critpath` into the same equations ("L" p-threads);
+- the explicit energy model (Table 2, equations E1-E8) and the composite
+  latency/energy objective (equations C1-C3) parameterized by the weight
+  W, yielding energy-targeted ("E"), ED-targeted ("P") and ED^2-targeted
+  ("P2") p-threads;
+- the slice-tree search with overlap discounting and the common-trigger
+  merging post-pass.
+"""
+
+from repro.pthsel.framework import SelectionResult, select_pthreads
+from repro.pthsel.pthread import StaticPThread
+from repro.pthsel.targets import Target
+
+__all__ = ["SelectionResult", "StaticPThread", "Target", "select_pthreads"]

@@ -1,0 +1,224 @@
+"""Branch pre-execution: p-threads that pre-compute branch outcomes.
+
+The paper's Section 7 sketches this extension: the same slice machinery
+targets "problem" *branches* (static branches the hybrid predictor keeps
+getting wrong) instead of problem loads.  A branch p-thread's body is
+the branch's backward slice plus the branch itself, re-cast as a compare
+whose result is communicated to the fetch stage as an outcome hint; a
+timely, correct hint turns a misprediction into a correct prediction.
+
+Two model changes relative to load targeting, both from the paper:
+
+- the per-event latency gain is the misprediction penalty (the branch's
+  resolve wait plus the front-end refill), not the miss latency;
+- energy is saved at the *total* per-cycle rate ``Etotal/c`` rather than
+  ``Eidle/c``, because the processor would have been busy (fetching and
+  executing wrong-path work) during the cycles a hint removes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.config import EnergyConfig, MachineConfig, SelectionConfig
+from repro.critpath.classify import LoadClassification, classify_trace
+from repro.energy.wattch import EnergyModel
+from repro.frontend.trace import Trace
+from repro.pthsel.composite import CompositeParams
+from repro.pthsel.energy_model import EnergyParams, PthselEnergyModel
+from repro.pthsel.framework import BaselineEstimates, SelectionResult
+from repro.pthsel.latency_model import LatencyModel, LatencyParams
+from repro.pthsel.pthread import StaticPThread
+from repro.pthsel.selector import TreeSelector
+from repro.pthsel.targets import Target
+from repro.slicer.slicetree import build_slice_tree
+
+
+class _BranchLatencyModel(LatencyModel):
+    """Latency model variant for branch hints.
+
+    A prefetch only has to beat the demand load's *issue*; a branch hint
+    has to beat the branch's *fetch*, which runs roughly a full window
+    ahead of commit.  The extra required lead is the ROB's drain time at
+    the program's commit rate.
+    """
+
+    def __init__(self, *args, fetch_lead_cycles: float = 0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fetch_lead_cycles = fetch_lead_cycles
+
+    def lred(self, body, target_pc, avg_distance, trigger=None):
+        base = super().lred(body, target_pc, avg_distance, trigger)
+        return max(0.0, base - self.fetch_lead_cycles)
+
+
+class BranchMispredictCost:
+    """Latency-tolerance to execution-time mapping for branch hints.
+
+    One cycle of tolerance converts one-for-one until the full
+    misprediction penalty is recovered, then saturates.
+    """
+
+    def __init__(self, penalty_cycles: float) -> None:
+        self.penalty_cycles = penalty_cycles
+
+    def gain(self, tolerated_cycles: float) -> float:
+        return max(0.0, min(tolerated_cycles, self.penalty_cycles))
+
+
+def identify_problem_branches(
+    classification: LoadClassification,
+    config: SelectionConfig,
+) -> List[int]:
+    """Static PCs of branches with disproportionate mispredictions."""
+    total = sum(v[1] for v in classification.branch_counts.values())
+    if not total:
+        return []
+    ranked = sorted(
+        classification.branch_counts.items(), key=lambda kv: -kv[1][1]
+    )
+    return [
+        pc
+        for pc, (count, wrong) in ranked
+        if wrong / total >= config.min_miss_share and wrong > 0
+    ][: config.max_problem_loads]
+
+
+def _mispredict_penalty(
+    body, machine: MachineConfig, latency_model: LatencyModel
+) -> float:
+    """Estimated cycles one avoided misprediction saves.
+
+    The redirect costs the front-end refill plus however long the branch
+    waits for its operands -- for value-dependent branches behind missing
+    loads that wait is the dominant term (and exactly the case where
+    branch pre-execution pays, as the paper anticipates).
+    """
+    operand_wait = 0.0
+    for inst in body:
+        if inst.op.is_load:
+            operand_wait = max(
+                operand_wait, latency_model.expected_load_latency(inst.pc)
+            )
+    return machine.frontend_depth + 2.0 + operand_wait
+
+
+def select_branch_pthreads(
+    trace: Trace,
+    baseline: BaselineEstimates,
+    target: Target = Target.LATENCY,
+    machine: Optional[MachineConfig] = None,
+    energy: Optional[EnergyConfig] = None,
+    selection: Optional[SelectionConfig] = None,
+    classification: Optional[LoadClassification] = None,
+    id_base: int = 1000,
+) -> SelectionResult:
+    """Select branch-outcome p-threads under the given target."""
+    machine = machine or MachineConfig()
+    energy = energy or EnergyConfig()
+    selection = selection or SelectionConfig()
+    if classification is None:
+        classification = classify_trace(trace, machine)
+
+    problem_pcs = identify_problem_branches(classification, selection)
+    result = SelectionResult(
+        target=target,
+        pthreads=[],
+        problem_pcs=problem_pcs,
+        classification=classification,
+    )
+    if not problem_pcs:
+        return result
+
+    fetch_lead = machine.rob_entries / max(0.05, baseline.ipc) * 0.5
+    latency_model = _BranchLatencyModel(
+        LatencyParams.from_machine(machine, baseline.ipc),
+        machine,
+        classification,
+        embedded_latency_factor=selection.embedded_latency_factor,
+        fetch_lead_cycles=fetch_lead,
+    )
+    constants = EnergyModel(energy, machine).pthsel_constants()
+    # Section 7: branch hints save energy at Etotal/c, the program's
+    # average per-cycle energy, because the saved cycles were busy ones.
+    e_total_per_cycle = baseline.e0 / max(1.0, baseline.l0)
+    params = EnergyParams(
+        e_fetch=constants["e_fetch"],
+        e_xall=constants["e_xall"],
+        e_xalu=constants["e_xalu"],
+        e_xload=constants["e_xload"],
+        e_l2=constants["e_l2"],
+        e_idle=e_total_per_cycle,
+    )
+    pth_energy = PthselEnergyModel(params, float(machine.width),
+                                   classification)
+    composite = CompositeParams(
+        l0=baseline.l0, e0=baseline.e0, w=target.composition_weight
+    )
+
+    pc_occurrences = Counter(dyn.pc for dyn in trace)
+    next_id = id_base
+    totals: Dict[str, float] = {"ladv_agg": 0.0, "eadv_agg": 0.0,
+                                "cadv_agg": 0.0}
+    for pc in problem_pcs:
+        if len(trace.occurrences(pc)) < 2:
+            continue
+        tree = build_slice_tree(
+            trace,
+            classification,
+            pc,
+            window=selection.slicing_window,
+            max_insts=selection.max_pthread_insts,
+            pc_occurrences=pc_occurrences,
+            event_seqs=classification.mispredicted,
+        )
+        # Cost: probe the penalty with the shallowest candidate's body
+        # (operand wait depends only on the slice's loads, which every
+        # candidate shares).
+        sample = next(tree.candidates(), None)
+        if sample is None:
+            continue
+        sample_body = [trace.program[p] for p in sample.body_pcs()]
+        penalty = _mispredict_penalty(sample_body, machine, latency_model)
+        selector = TreeSelector(
+            tree,
+            latency_model,
+            pth_energy,
+            composite,
+            BranchMispredictCost(penalty),
+            trace.program,
+            max_pthread_insts=selection.max_pthread_insts,
+            overlap_discount=selection.overlap_discount,
+            min_gain_cycles=selection.min_gain_cycles,
+        )
+        for candidate in selector.select():
+            metrics = candidate.metrics
+            ladv = metrics.get("ladv_agg_discounted", metrics["ladv_agg"])
+            eadv = metrics.get("eadv_agg_discounted", metrics["eadv_agg"])
+            cadv = metrics.get("cadv_agg_discounted", metrics["cadv_agg"])
+            totals["ladv_agg"] += ladv
+            totals["eadv_agg"] += eadv
+            totals["cadv_agg"] += cadv
+            hint_offset = max(1, int(round(candidate.node.avg_root_gap)))
+            result.pthreads.append(
+                StaticPThread(
+                    pthread_id=next_id,
+                    trigger_pc=candidate.node.pc,
+                    body=tuple(candidate.body),
+                    target_pcs=(pc,),
+                    predicted={
+                        "ladv_agg": ladv,
+                        "eadv_agg": eadv,
+                        "cadv_agg": cadv,
+                        "lred": metrics["lred"],
+                        "gain": metrics["gain"],
+                        "dc_trig": float(candidate.dc_trig),
+                        "dc_ptcm": float(candidate.dc_ptcm),
+                    },
+                    hint_offset=hint_offset,
+                )
+            )
+            next_id += 1
+    result.predicted = totals
+    return result

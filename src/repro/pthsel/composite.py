@@ -1,0 +1,50 @@
+"""Composite latency/energy objectives (Table 2, equations C1-C3).
+
+CADVagg(p) = L0^W * E0^(1-W)
+           - (L0 - LADVagg(p))^W * (E0 - EADVagg(p))^(1-W)        (C1)
+
+W is the latency weight (C2): 1 latency, 0 energy, 0.5 ED, 0.67 ED^2.
+L0 and E0 are the unoptimized program's absolute latency and energy (C2,
+external per-application parameters); only their ratio actually matters
+to the ranking, as the paper notes.  Composite advantages of p-thread
+*sets* add through their LADVagg/EADVagg components (C3), which is how
+the selector accumulates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CompositeParams:
+    """External application parameters for C1 (equation C2)."""
+
+    l0: float  # unoptimized latency (cycles)
+    e0: float  # unoptimized energy (joules)
+    w: float   # latency weight
+
+    def __post_init__(self) -> None:
+        if self.l0 <= 0 or self.e0 <= 0:
+            raise ConfigError("L0 and E0 must be positive")
+        if not 0.0 <= self.w <= 1.0:
+            raise ConfigError("W must lie in [0, 1]")
+
+
+def cadv_agg(params: CompositeParams, ladv_agg: float,
+             eadv_agg: float) -> float:
+    """Aggregate composite advantage (C1).
+
+    Advantages larger than the baseline quantities are clamped just below
+    them (a p-thread cannot remove more than all the time or energy).
+    """
+    l0, e0, w = params.l0, params.e0, params.w
+    new_l = max(l0 * 1e-9, l0 - ladv_agg)
+    new_e = max(e0 * 1e-9, e0 - eadv_agg)
+    if w == 1.0:
+        return l0 - new_l
+    if w == 0.0:
+        return e0 - new_e
+    return (l0**w) * (e0 ** (1.0 - w)) - (new_l**w) * (new_e ** (1.0 - w))

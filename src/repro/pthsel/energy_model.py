@@ -1,0 +1,107 @@
+"""PTHSEL+E's energy model (Table 2, equations E1-E8).
+
+EADVagg(p) = EREDagg(p) - EOHagg(p)                              (E1)
+EREDagg(p) = LADVagg(p) * Eidle/c                                (E2)
+EOHagg(p)  = DCtrig(p) * EOH(p)                                  (E3)
+EOH(p)     = Ef(p) + Ex(p) + EL2(p)                              (E4)
+Ef(p)      = ceil(SIZE(p)/BWSEQproc) * Ef/a                      (E5)
+Ex(p)      = SIZE*Exall/a + ALU*Exalu/a + LOAD*Exload/a          (E6)
+EL2(p)     = sum over p-loads of MISSRATE_L1 * EL2/a             (E7)
+
+The six constants (E8) are external parameters; here they come from the
+same calibration as the simulator's Wattch model
+(:meth:`repro.energy.wattch.EnergyModel.pthsel_constants`), so model and
+measurement agree by construction -- the paper's "published by the
+hardware vendor or reverse engineered" scenario.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.critpath.classify import LoadClassification
+from repro.isa.instruction import StaticInst
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """The equation E8 constants, in joules per access / per cycle."""
+
+    e_fetch: float
+    e_xall: float
+    e_xalu: float
+    e_xload: float
+    e_l2: float
+    e_idle: float
+
+    @classmethod
+    def from_constants(cls, constants: Dict[str, float]) -> "EnergyParams":
+        return cls(
+            e_fetch=constants["e_fetch"],
+            e_xall=constants["e_xall"],
+            e_xalu=constants["e_xalu"],
+            e_xload=constants["e_xload"],
+            e_l2=constants["e_l2"],
+            e_idle=constants["e_idle"],
+        )
+
+
+class PthselEnergyModel:
+    """Evaluates EOH/EADVagg for p-thread candidates."""
+
+    def __init__(
+        self,
+        params: EnergyParams,
+        bw_seq_proc: float,
+        classification: LoadClassification,
+    ) -> None:
+        self.params = params
+        self.bw_seq_proc = bw_seq_proc
+        self.classification = classification
+
+    def fetch_energy(self, size: int) -> float:
+        """Equation E5: I-cache blocks consumed by one spawn."""
+        blocks = math.ceil(size / self.bw_seq_proc)
+        return blocks * self.params.e_fetch
+
+    def execute_energy(self, body: List[StaticInst]) -> float:
+        """Equation E6: rename/window/regfile plus ALU and load extras."""
+        size = len(body)
+        n_loads = sum(1 for inst in body if inst.op.is_load)
+        n_alu = size - n_loads
+        p = self.params
+        return size * p.e_xall + n_alu * p.e_xalu + n_loads * p.e_xload
+
+    def l2_energy(self, body: List[StaticInst]) -> float:
+        """Equation E7: each p-load reaches the L2 at its main-program L1
+        miss rate (the target load itself is a near-certain L2 access)."""
+        total = 0.0
+        for inst in body:
+            if inst.op.is_load:
+                total += self.classification.miss_rate_l1(inst.pc)
+        return total * self.params.e_l2
+
+    def eoh(self, body: List[StaticInst]) -> float:
+        """Per dynamic instance energy overhead (E4)."""
+        return (
+            self.fetch_energy(len(body))
+            + self.execute_energy(body)
+            + self.l2_energy(body)
+        )
+
+    def eadv_agg(
+        self,
+        body: List[StaticInst],
+        ladv_agg: float,
+        dc_trig: int,
+    ) -> Dict[str, float]:
+        """Aggregate energy advantage (E1-E3) plus its pieces."""
+        ered_agg = ladv_agg * self.params.e_idle
+        eoh_agg = dc_trig * self.eoh(body)
+        return {
+            "ered_agg": ered_agg,
+            "eoh_agg": eoh_agg,
+            "eadv_agg": ered_agg - eoh_agg,
+        }

@@ -1,0 +1,184 @@
+"""PTHSEL's latency model (Table 1, equations L1-L7).
+
+LADVagg(p) = LREDagg(p) - LOHagg(p)                              (L1)
+LOHagg(p)  = DCtrig(p) * LOH(p)                                  (L2)
+LREDagg(p) = DCpt-cm(p) * LRED(p)                                (L3)
+LOH(p)     = (SIZE(p)/BWSEQproc) * (BWSEQmt/BWSEQproc)           (L4)
+
+External parameters (L5, L6): processor sequencing width BWSEQproc and
+memory latency Lcm come from the machine; the main thread's unoptimized
+sequencing bandwidth BWSEQmt (its IPC) comes from a baseline run.
+
+LRED -- the latency tolerated per dynamic instance -- is the headroom
+between how long the main thread takes to travel from the trigger to the
+load and how long the p-thread needs to compute and issue the same load.
+With the flat cost model one tolerated cycle is one saved cycle, capped
+at the miss latency; the criticality model maps tolerated latency
+through the per-load cost function from :mod:`repro.critpath.loadcost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.config import MachineConfig
+from repro.critpath.classify import LoadClassification
+from repro.critpath.graph import service_latency
+from repro.critpath.loadcost import FlatLoadCost, LoadCostFunction
+from repro.isa.instruction import StaticInst
+
+
+@dataclass
+class LatencyParams:
+    """External per-machine and per-program parameters (L5, L6)."""
+
+    bw_seq_proc: float
+    memory_latency: float
+    bw_seq_mt: float  # the program's unoptimized IPC
+
+    @classmethod
+    def from_machine(
+        cls, machine: MachineConfig, baseline_ipc: float
+    ) -> "LatencyParams":
+        return cls(
+            bw_seq_proc=float(machine.width),
+            memory_latency=float(machine.memory_latency),
+            bw_seq_mt=max(1e-3, baseline_ipc),
+        )
+
+
+class LatencyModel:
+    """Evaluates LRED/LOH/LADVagg for p-thread candidates."""
+
+    def __init__(
+        self,
+        params: LatencyParams,
+        machine: MachineConfig,
+        classification: LoadClassification,
+        embedded_latency_factor: float = 1.4,
+    ) -> None:
+        self.params = params
+        self.machine = machine
+        self.classification = classification
+        self.embedded_latency_factor = embedded_latency_factor
+        self._expected_load_latency: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def expected_load_latency(self, pc: int) -> float:
+        """Mean service latency (wait) of a static load, from the profile.
+
+        Uses the merge-aware service classification, so a load that
+        habitually waits on an in-flight fill (e.g. the second field read
+        of a freshly chased node) counts as a full-latency wait even
+        though it never initiates a miss itself.
+        """
+        cached = self._expected_load_latency.get(pc)
+        if cached is not None:
+            return cached
+        machine = self.machine
+        latencies = {
+            "l1": float(service_latency("l1", machine)),
+            "l2": float(service_latency("l2", machine)),
+            "mem": float(service_latency("mem", machine)),
+        }
+        expected = self.classification.expected_service_latency(
+            pc, latencies, default=latencies["l1"]
+        )
+        self._expected_load_latency[pc] = expected
+        return expected
+
+    def pthread_compute_time(self, body: List[StaticInst],
+                             target_pc: int,
+                             trigger: Optional[StaticInst] = None) -> float:
+        """Cycles from spawn until the p-thread issues the target load.
+
+        P-threads are sequenced at one instruction per cycle (SIZE cycles
+        of fetch) and their embedded non-target loads serialize their own
+        expected latencies on top (the mcf effect: every level of pointer
+        unrolling adds a missing load to the p-thread's own critical
+        path).  When the *trigger itself* is a load, the body's live-in
+        value is only available once that load completes, so its expected
+        latency delays the whole p-thread -- this is what makes slices
+        rooted just below a missing load (a pointer-chase step) worthless.
+        """
+        size = float(len(body))
+        embedded = 0.0
+        seen_target = False
+        for inst in body:
+            if inst.op.is_load:
+                if inst.pc == target_pc and not seen_target:
+                    seen_target = True
+                    continue  # the target itself is the prefetch
+                embedded += (
+                    self.expected_load_latency(inst.pc)
+                    * self.embedded_latency_factor
+                )
+        if trigger is not None and trigger.op.is_load:
+            # A load trigger delays the p-thread's live-in by its own
+            # (queue-inflated) service time; candidates rooted directly
+            # under a missing load can essentially never win, because the
+            # demand load's issue is gated by the same producer.
+            embedded += (
+                self.expected_load_latency(trigger.pc)
+                * self.embedded_latency_factor
+            )
+        return size + embedded
+
+    def lred(
+        self,
+        body: List[StaticInst],
+        target_pc: int,
+        avg_distance: float,
+        trigger: Optional[StaticInst] = None,
+    ) -> float:
+        """Latency tolerated per dynamic instance (before the cost map).
+
+        ``avg_distance`` is the mean trigger-to-load distance in dynamic
+        main-thread instructions, mined from the slice tree.
+        """
+        main_time = avg_distance / self.params.bw_seq_mt
+        pth_time = self.pthread_compute_time(body, target_pc, trigger)
+        return max(0.0, main_time - pth_time)
+
+    def loh(self, size: int) -> float:
+        """Per-instance latency overhead (L4): fetch-bandwidth contention
+        discounted by main-thread sequencing utilization."""
+        bw = self.params.bw_seq_proc
+        return (size / bw) * (self.params.bw_seq_mt / bw)
+
+    # ------------------------------------------------------------------ #
+
+    def ladv_agg(
+        self,
+        body: List[StaticInst],
+        target_pc: int,
+        avg_distance: float,
+        dc_trig: int,
+        dc_ptcm: int,
+        cost_function: Union[FlatLoadCost, LoadCostFunction],
+        trigger: Optional[StaticInst] = None,
+    ) -> Dict[str, float]:
+        """Aggregate latency advantage (L1-L3) plus its pieces.
+
+        Returns a dict with ``lred`` (tolerated cycles per instance),
+        ``gain`` (execution cycles saved per covered miss after the cost
+        map), ``loh``, ``lred_agg``, ``loh_agg`` and ``ladv_agg``.
+        """
+        tolerated = self.lred(body, target_pc, avg_distance, trigger)
+        if isinstance(cost_function, FlatLoadCost):
+            gain = min(tolerated, self.params.memory_latency)
+        else:
+            gain = cost_function.gain(tolerated)
+        loh = self.loh(len(body))
+        lred_agg = dc_ptcm * gain
+        loh_agg = dc_trig * loh
+        return {
+            "lred": tolerated,
+            "gain": gain,
+            "loh": loh,
+            "lred_agg": lred_agg,
+            "loh_agg": loh_agg,
+            "ladv_agg": lred_agg - loh_agg,
+        }

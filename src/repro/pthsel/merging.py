@@ -1,0 +1,108 @@
+"""Common-trigger merging post-pass (Section 2.2).
+
+Linear p-threads with the same trigger -- typically the two sides of a
+control fork, like the ``rxid``/``g_rxid`` computations of the paper's
+Figure 1 -- are merged into one composite p-thread: shared prefix once,
+then both suffixes.  Merging lowers overhead (the shared induction is
+fetched and executed once) without hurting latency tolerance.
+
+Merging is only legal when the second suffix does not read a register the
+first suffix wrote (it would observe the wrong value); illegal merges are
+left as separate p-threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import StaticInst
+from repro.pthsel.pthread import StaticPThread
+
+
+def _inst_key(inst: StaticInst) -> Tuple:
+    return (inst.pc, inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm)
+
+
+def _common_prefix(a: Sequence[StaticInst],
+                   b: Sequence[StaticInst]) -> int:
+    n = 0
+    for x, y in zip(a, b):
+        if _inst_key(x) != _inst_key(y):
+            break
+        n += 1
+    return n
+
+
+def _suffix_conflicts(first_suffix: Sequence[StaticInst],
+                      second_suffix: Sequence[StaticInst]) -> bool:
+    """Would appending ``second_suffix`` after ``first_suffix`` corrupt its
+    dataflow?  True when the second suffix reads a register last written
+    by the first suffix (instead of by the prefix or a live-in)."""
+    poisoned: Set[int] = {
+        inst.dest for inst in first_suffix if inst.dest is not None
+    }
+    for inst in second_suffix:
+        for src in inst.sources:
+            if src in poisoned:
+                return True
+        if inst.dest is not None:
+            poisoned.discard(inst.dest)  # rewritten by the second suffix
+    return False
+
+
+def try_merge(a: StaticPThread, b: StaticPThread,
+              merged_id: int) -> Optional[StaticPThread]:
+    """Merge two same-trigger p-threads, or return None if illegal."""
+    if a.trigger_pc != b.trigger_pc:
+        return None
+    prefix_len = _common_prefix(a.body, b.body)
+    suffix_a = list(a.body[prefix_len:])
+    suffix_b = list(b.body[prefix_len:])
+    if _suffix_conflicts(suffix_a, suffix_b):
+        return None
+    body = tuple(list(a.body[:prefix_len]) + suffix_a + suffix_b)
+    predicted: Dict[str, float] = {}
+    for key in set(a.predicted) | set(b.predicted):
+        predicted[key] = a.predicted.get(key, 0.0) + b.predicted.get(key, 0.0)
+    # DCtrig is shared, not additive: both halves spawn on the same trigger.
+    if "dc_trig" in predicted:
+        predicted["dc_trig"] = max(
+            a.predicted.get("dc_trig", 0.0), b.predicted.get("dc_trig", 0.0)
+        )
+    return StaticPThread(
+        pthread_id=merged_id,
+        trigger_pc=a.trigger_pc,
+        body=body,
+        target_pcs=tuple(dict.fromkeys(a.target_pcs + b.target_pcs)),
+        predicted=predicted,
+    )
+
+
+def merge_pthreads(pthreads: List[StaticPThread]) -> List[StaticPThread]:
+    """Greedily merge same-trigger p-threads; returns the final set."""
+    by_trigger: Dict[int, List[StaticPThread]] = {}
+    for pthread in pthreads:
+        by_trigger.setdefault(pthread.trigger_pc, []).append(pthread)
+
+    result: List[StaticPThread] = []
+    next_id = max((p.pthread_id for p in pthreads), default=0) + 1
+    for trigger_pc, group in sorted(by_trigger.items()):
+        pool = list(group)
+        merged_any = True
+        while merged_any and len(pool) > 1:
+            merged_any = False
+            for i in range(len(pool)):
+                for j in range(i + 1, len(pool)):
+                    merged = try_merge(pool[i], pool[j], next_id)
+                    if merged is not None:
+                        next_id += 1
+                        pool = (
+                            [p for k, p in enumerate(pool) if k not in (i, j)]
+                            + [merged]
+                        )
+                        merged_any = True
+                        break
+                if merged_any:
+                    break
+        result.extend(pool)
+    return result

@@ -1,0 +1,88 @@
+"""Static p-thread representation and body optimization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import Op
+
+
+@dataclass(frozen=True)
+class StaticPThread:
+    """One selected static p-thread.
+
+    ``body`` holds executable instruction templates (optimized: merged
+    induction steps may carry immediates that differ from the original
+    static instructions, the paper's ``i+=2`` idiom).  ``target_pcs``
+    are the problem loads this p-thread prefetches (more than one after
+    merging).  ``predicted`` records the model's estimates for the
+    validation study (Table 3).
+    """
+
+    pthread_id: int
+    trigger_pc: int
+    body: Tuple[StaticInst, ...]
+    target_pcs: Tuple[int, ...]
+    predicted: Dict[str, float] = field(default_factory=dict)
+    #: Branch pre-execution: when > 0, the body ends in a branch whose
+    #: outcome is hinted to the ``hint_offset``-th future dynamic instance
+    #: of the target PC (0 = ordinary prefetching p-thread).
+    hint_offset: int = 0
+
+    @property
+    def is_branch_pthread(self) -> bool:
+        return self.hint_offset > 0
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+    @property
+    def n_loads(self) -> int:
+        return sum(1 for inst in self.body if inst.op.is_load)
+
+    @property
+    def n_alu(self) -> int:
+        return sum(1 for inst in self.body if not inst.op.is_load)
+
+    def describe(self) -> str:
+        lines = [f"p-thread #{self.pthread_id} trigger=pc{self.trigger_pc} "
+                 f"targets={list(self.target_pcs)}"]
+        lines.extend(f"  {inst}" for inst in self.body)
+        return "\n".join(lines)
+
+
+def optimize_body(body: List[StaticInst]) -> List[StaticInst]:
+    """Collapse runs of self-incrementing ADDIs into one larger step.
+
+    This is the paper's induction-unrolling optimization (``i++; i++`` ->
+    ``i += 2``): consecutive ``addi r, r, k`` on the same register merge
+    into a single ``addi r, r, n*k``, which is what makes array-walk
+    lookahead nearly free.  Non-adjacent occurrences are left alone
+    (intervening instructions may read the intermediate value).
+    """
+    optimized: List[StaticInst] = []
+    for inst in body:
+        if (
+            inst.op is Op.ADDI
+            and inst.rd == inst.rs1
+            and optimized
+            and optimized[-1].op is Op.ADDI
+            and optimized[-1].rd == inst.rd
+            and optimized[-1].rs1 == inst.rs1
+        ):
+            prev = optimized.pop()
+            merged = StaticInst(
+                pc=prev.pc,
+                op=Op.ADDI,
+                rd=prev.rd,
+                rs1=prev.rs1,
+                imm=(prev.imm or 0) + (inst.imm or 0),
+                annotation=prev.annotation or "merged-induction",
+            )
+            optimized.append(merged)
+        else:
+            optimized.append(inst)
+    return optimized

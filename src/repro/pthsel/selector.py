@@ -1,0 +1,167 @@
+"""Per-tree candidate evaluation and overlap-aware greedy selection.
+
+PTHSEL examines each slice tree independently and selects the subset of
+candidate p-threads that maximizes summed (composite) advantage.  Two
+p-threads on the same root path overlap -- they cover overlapping sets of
+dynamic misses -- so when one is already selected, the other's advantage
+is discounted by the latency tolerance shared on the jointly covered
+misses (equation L7); a candidate whose discounted advantage goes
+non-positive is not selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.critpath.loadcost import FlatLoadCost, LoadCostFunction
+from repro.isa.instruction import StaticInst
+from repro.pthsel.composite import CompositeParams, cadv_agg
+from repro.pthsel.energy_model import PthselEnergyModel
+from repro.pthsel.latency_model import LatencyModel
+from repro.pthsel.pthread import optimize_body
+from repro.slicer.slicetree import SliceNode, SliceTree
+
+CostFn = Union[FlatLoadCost, LoadCostFunction]
+
+
+@dataclass
+class Candidate:
+    """One evaluated p-thread candidate (a slice-tree node)."""
+
+    node: SliceNode
+    target_pc: int
+    body: List[StaticInst]
+    dc_trig: int
+    dc_ptcm: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gain(self) -> float:
+        return self.metrics["gain"]
+
+    @property
+    def ladv_agg(self) -> float:
+        return self.metrics["ladv_agg"]
+
+    def on_same_path(self, other: "Candidate") -> bool:
+        """Ancestor/descendant relationship in the slice tree."""
+        a, b = self.node, other.node
+        if a.depth == b.depth:
+            return a is b
+        shallow, deep = (a, b) if a.depth < b.depth else (b, a)
+        walk: Optional[SliceNode] = deep
+        while walk is not None and walk.depth >= shallow.depth:
+            if walk is shallow:
+                return True
+            walk = walk.parent
+        return False
+
+
+class TreeSelector:
+    """Selects p-threads from one slice tree."""
+
+    def __init__(
+        self,
+        tree: SliceTree,
+        latency_model: LatencyModel,
+        energy_model: PthselEnergyModel,
+        composite: CompositeParams,
+        cost_function: CostFn,
+        program,
+        max_pthread_insts: int = 64,
+        overlap_discount: bool = True,
+        min_gain_cycles: float = 1.0,
+    ) -> None:
+        self.tree = tree
+        self.latency_model = latency_model
+        self.energy_model = energy_model
+        self.composite = composite
+        self.cost_function = cost_function
+        self.program = program
+        self.max_pthread_insts = max_pthread_insts
+        self.overlap_discount = overlap_discount
+        self.min_gain_cycles = min_gain_cycles
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, node: SliceNode) -> Optional[Candidate]:
+        """Build and score a candidate; None when it cannot possibly help."""
+        if node.dc_ptcm <= 0:
+            return None
+        body_raw = [self.program[pc] for pc in node.body_pcs()]
+        body = optimize_body(body_raw)
+        if not body or len(body) > self.max_pthread_insts:
+            return None
+        dc_trig = self.tree.dc_trig(node)
+        if dc_trig <= 0:
+            return None
+        metrics = self.latency_model.ladv_agg(
+            body,
+            self.tree.root_pc,
+            node.avg_distance,
+            dc_trig,
+            node.dc_ptcm,
+            self.cost_function,
+            trigger=self.program[node.pc],
+        )
+        if metrics["gain"] < self.min_gain_cycles:
+            return None
+        metrics.update(
+            self.energy_model.eadv_agg(body, metrics["ladv_agg"], dc_trig)
+        )
+        metrics["cadv_agg"] = cadv_agg(
+            self.composite, metrics["ladv_agg"], metrics["eadv_agg"]
+        )
+        return Candidate(
+            node=node,
+            target_pc=self.tree.root_pc,
+            body=body,
+            dc_trig=dc_trig,
+            dc_ptcm=node.dc_ptcm,
+            metrics=metrics,
+        )
+
+    def _discounted(self, candidate: Candidate,
+                    selected: List[Candidate]) -> Tuple[float, float, float]:
+        """(ladv, eadv, cadv) of ``candidate`` given already-selected
+        p-threads, applying the overlap discount (L7)."""
+        discount = 0.0
+        for other in selected if self.overlap_discount else ():
+            if candidate.on_same_path(other):
+                shared_misses = min(candidate.dc_ptcm, other.dc_ptcm)
+                shared_gain = min(candidate.gain, other.gain)
+                discount += shared_gain * shared_misses
+        ladv = candidate.ladv_agg - discount
+        ered = ladv * self.energy_model.params.e_idle
+        eadv = ered - candidate.metrics["eoh_agg"]
+        return ladv, eadv, cadv_agg(self.composite, ladv, eadv)
+
+    def select(self) -> List[Candidate]:
+        """Greedy selection maximizing summed composite advantage."""
+        candidates = [
+            c
+            for node in self.tree.candidates()
+            if (c := self.evaluate(node)) is not None
+        ]
+        selected: List[Candidate] = []
+        remaining = [c for c in candidates if c.metrics["cadv_agg"] > 0]
+        while remaining:
+            best = None
+            best_values = None
+            for candidate in remaining:
+                values = self._discounted(candidate, selected)
+                if values[2] > 0 and (
+                    best_values is None or values[2] > best_values[2]
+                ):
+                    best = candidate
+                    best_values = values
+            if best is None:
+                break
+            ladv, eadv, cadv = best_values
+            best.metrics["ladv_agg_discounted"] = ladv
+            best.metrics["eadv_agg_discounted"] = eadv
+            best.metrics["cadv_agg_discounted"] = cadv
+            selected.append(best)
+            remaining.remove(best)
+        return selected

@@ -1,0 +1,46 @@
+"""Selection targets: what quantity p-threads should optimize.
+
+The composition weight W (equation C2) is the exponential weight of
+latency in the composite objective: 1 optimizes latency, 0 energy, 0.5
+ED, and 0.67 ED^2.  The ORIGINAL target reproduces pre-extension PTHSEL:
+latency-targeted with the flat cycle-for-cycle load cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Target(enum.Enum):
+    """P-thread selection targets, named as in the paper's figures."""
+
+    #: Original PTHSEL: latency with the flat miss-cost model (O).
+    ORIGINAL = "O"
+    #: PTHSEL+E latency target with criticality-based miss cost (L).
+    LATENCY = "L"
+    #: Energy target (E).
+    ENERGY = "E"
+    #: Energy-delay target (P).
+    ED = "P"
+    #: Energy-delay-squared target (P2).
+    ED2 = "P2"
+
+    @property
+    def composition_weight(self) -> float:
+        """The W parameter of equation C2."""
+        return {
+            Target.ORIGINAL: 1.0,
+            Target.LATENCY: 1.0,
+            Target.ENERGY: 0.0,
+            Target.ED: 0.5,
+            Target.ED2: 0.67,
+        }[self]
+
+    @property
+    def uses_flat_load_cost(self) -> bool:
+        """Only the ORIGINAL target keeps PTHSEL's one-for-one assumption."""
+        return self is Target.ORIGINAL
+
+    @property
+    def label(self) -> str:
+        return self.value

@@ -1,0 +1,21 @@
+"""Dynamic backward slicing and slice-tree construction.
+
+PTHSEL's front half (Section 2.2): linear p-thread candidates are
+extracted from dynamic traces by backward data-dependence slicing within
+a bounded window, grouped by static problem load, and organized into
+slice trees annotated with the dynamic counts the selection formulae
+consume (DCtrig, DCptcm) plus the trigger-to-load distances the latency
+model needs.
+"""
+
+from repro.slicer.backslice import backward_slice
+from repro.slicer.problem_loads import identify_problem_loads
+from repro.slicer.slicetree import SliceNode, SliceTree, build_slice_tree
+
+__all__ = [
+    "SliceNode",
+    "SliceTree",
+    "backward_slice",
+    "build_slice_tree",
+    "identify_problem_loads",
+]

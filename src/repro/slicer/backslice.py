@@ -1,0 +1,48 @@
+"""Backward data-dependence slicing over a dynamic trace."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.trace import NO_PRODUCER, Trace
+
+
+def backward_slice(
+    trace: Trace,
+    seq: int,
+    window: int = 2048,
+    max_insts: int = 64,
+) -> List[int]:
+    """The backward slice of dynamic instruction ``seq``.
+
+    Follows register dataflow only (loads contribute their address
+    computation; memory dependences are not followed -- a p-thread load
+    picks its value up from the cache/LSQ at runtime, Section 2.1).
+
+    Returns sequence numbers in descending order, starting with ``seq``
+    itself, truncated to the slicing window and to ``max_insts``
+    instructions (the paper's defaults: a 2048-instruction window and 64
+    instructions per linear p-thread).
+    """
+    horizon = seq - window
+    result: List[int] = []
+    visited = {seq}
+    # Frontier kept as a descending-ordered worklist: because producers
+    # always precede consumers, popping the largest pending seq yields the
+    # slice already sorted by descending sequence number.
+    frontier = [seq]
+    while frontier and len(result) < max_insts:
+        current = max(frontier)
+        frontier.remove(current)
+        result.append(current)
+        dyn = trace[current]
+        for producer in (dyn.src1_seq, dyn.src2_seq):
+            if (
+                producer != NO_PRODUCER
+                and producer >= horizon
+                and producer >= 0
+                and producer not in visited
+            ):
+                visited.add(producer)
+                frontier.append(producer)
+    return result

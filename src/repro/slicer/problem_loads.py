@@ -1,0 +1,34 @@
+"""Problem load identification from miss profiles.
+
+"A small number of static loads -- problem loads -- defy address
+prediction and generate disproportionate numbers of misses."  We identify
+them the way the paper's profiling tool does: rank static loads by L2
+miss count and keep those above a share threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import SelectionConfig
+from repro.critpath.classify import LoadClassification
+
+
+def identify_problem_loads(
+    classification: LoadClassification,
+    config: SelectionConfig | None = None,
+) -> List[int]:
+    """Static PCs of problem loads, ordered by descending miss count."""
+    config = config or SelectionConfig()
+    total = classification.total_l2_misses
+    if not total:
+        return []
+    ranked = sorted(
+        classification.miss_counts.items(), key=lambda kv: -kv[1]
+    )
+    selected = [
+        pc
+        for pc, misses in ranked
+        if misses / total >= config.min_miss_share
+    ]
+    return selected[: config.max_problem_loads]

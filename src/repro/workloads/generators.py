@@ -1,0 +1,191 @@
+"""Reusable kernel emitters and data initializers for workload programs.
+
+Each emitter appends instructions to a :class:`~repro.isa.builder.
+ProgramBuilder`.  Conventions: every kernel allocates its registers from a
+shared :class:`RegAlloc` so kernels compose without clobbering each other;
+loop bounds and constants live in registers initialized before entry
+(as compiled code would keep them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.isa.builder import ProgramBuilder, WORD_BYTES
+from repro.isa.registers import NUM_ARCH_REGS
+
+#: 64-bit LCG constants (Knuth's MMIX multiplier).
+LCG_MULT = 6364136223846793005
+LCG_ADD = 1442695040888963407
+
+
+class RegAlloc:
+    """Hands out architectural registers; r0 and r31 are reserved."""
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def take(self, n: int = 1) -> List[int]:
+        regs = list(range(self._next, self._next + n))
+        self._next += n
+        if self._next > NUM_ARCH_REGS - 1:  # r31 is the branch-imm scratch
+            raise WorkloadError("register allocator exhausted")
+        return regs
+
+    def one(self) -> int:
+        return self.take(1)[0]
+
+
+# --------------------------------------------------------------------- #
+# Data initializers.
+# --------------------------------------------------------------------- #
+
+
+def init_random_words(builder: ProgramBuilder, name: str, n_words: int,
+                      rng: random.Random, bits: int = 32) -> int:
+    """Allocate ``name`` and fill it with random non-negative words."""
+    base = builder.data.alloc(name, n_words)
+    image = builder.data.image
+    limit = (1 << bits) - 1
+    for i in range(n_words):
+        image[base + i * WORD_BYTES] = rng.randint(0, limit)
+    return base
+
+
+def init_index_array(builder: ProgramBuilder, name: str, n_entries: int,
+                     index_range: int, rng: random.Random) -> int:
+    """Allocate ``name`` and fill it with random word indices."""
+    base = builder.data.alloc(name, n_entries)
+    image = builder.data.image
+    for i in range(n_entries):
+        image[base + i * WORD_BYTES] = rng.randrange(index_range)
+    return base
+
+
+def init_pointer_ring(builder: ProgramBuilder, name: str, n_nodes: int,
+                      node_words: int, rng: random.Random) -> int:
+    """Allocate a node pool linked into one random Hamiltonian cycle.
+
+    Word 0 of each node is the byte address of the next node; word 1 is a
+    random payload.  Returns the address of the cycle's first node.
+    """
+    if node_words < 2:
+        raise WorkloadError("pointer-ring nodes need at least 2 words")
+    base = builder.data.alloc(name, n_nodes * node_words)
+    image = builder.data.image
+    order = list(range(n_nodes))
+    rng.shuffle(order)
+    stride = node_words * WORD_BYTES
+    for position, node in enumerate(order):
+        successor = order[(position + 1) % n_nodes]
+        node_addr = base + node * stride
+        image[node_addr] = base + successor * stride
+        image[node_addr + WORD_BYTES] = rng.randint(0, (1 << 30) - 1)
+    return base + order[0] * stride
+
+
+def init_record_array(builder: ProgramBuilder, name: str, n_records: int,
+                      record_words: int, field_ranges: List[int],
+                      rng: random.Random) -> int:
+    """Allocate an array of fixed-size records with random integer fields.
+
+    ``field_ranges[k]`` bounds the value of word ``k`` of each record;
+    remaining words are zero.
+    """
+    base = builder.data.alloc(name, n_records * record_words)
+    image = builder.data.image
+    stride = record_words * WORD_BYTES
+    for i in range(n_records):
+        for k, bound in enumerate(field_ranges):
+            if k >= record_words:
+                raise WorkloadError("more field ranges than record words")
+            image[base + i * stride + k * WORD_BYTES] = rng.randrange(bound)
+    return base
+
+
+# --------------------------------------------------------------------- #
+# Code emitters.
+# --------------------------------------------------------------------- #
+
+
+def emit_lcg_advance(builder: ProgramBuilder, seed_reg: int, mult_reg: int,
+                     annotation: str = "lcg") -> None:
+    """Advance ``seed = seed * LCG_MULT + LCG_ADD`` (2 instructions).
+
+    This is the "medium" hoisting-cost recurrence: unrolling a p-thread one
+    more iteration ahead replicates both instructions.
+    """
+    builder.mul(seed_reg, seed_reg, mult_reg, annotation=annotation)
+    builder.addi(seed_reg, seed_reg, LCG_ADD, annotation=annotation)
+
+
+def emit_lcg_index(builder: ProgramBuilder, seed_reg: int, out_reg: int,
+                   index_bits: int, annotation: str = "lcg-index") -> None:
+    """Extract a ``index_bits``-wide byte offset from the LCG state."""
+    builder.shri(out_reg, seed_reg, 33, annotation=annotation)
+    builder.andi(out_reg, out_reg, (1 << index_bits) - 1, annotation=annotation)
+    builder.shli(out_reg, out_reg, 3, annotation=annotation)
+
+
+def emit_compute_chain(builder: ProgramBuilder, regs: List[int], n_ops: int,
+                       dependent: bool = True,
+                       annotation: str = "filler") -> None:
+    """Emit ``n_ops`` ALU filler instructions over scratch registers.
+
+    ``dependent=True`` builds one serial dependence chain on ``regs[0]``
+    (execution-latency bound); ``dependent=False`` round-robins immediate
+    ops across all of ``regs``, yielding ``len(regs)`` independent chains
+    (ILP-rich, fetch/commit bound).  Used to calibrate each benchmark's
+    memory share of execution time.
+    """
+    if not regs:
+        raise WorkloadError("compute chain needs at least one register")
+    if dependent:
+        operand = regs[1] if len(regs) > 1 else regs[0]
+        ops = ["add", "xor", "sub", "or_"]
+        for k in range(n_ops):
+            getattr(builder, ops[k % len(ops)])(
+                regs[0], regs[0], operand, annotation=annotation
+            )
+    else:
+        for k in range(n_ops):
+            reg = regs[k % len(regs)]
+            if k % 2 == 0:
+                builder.addi(reg, reg, k + 1, annotation=annotation)
+            else:
+                builder.shri(reg, reg, 1, annotation=annotation)
+
+
+def emit_predictable_branches(builder: ProgramBuilder, counter_reg: int,
+                              n_branches: int, skip_label_prefix: str) -> None:
+    """Emit ``n_branches`` almost-always-not-taken compare-and-skip pairs.
+
+    These model the well-predicted control flow that dilutes mispredictions
+    in compute-heavy benchmarks such as gcc and vortex.
+    """
+    for k in range(n_branches):
+        label = f"{skip_label_prefix}_{k}"
+        builder.blt(counter_reg, 0, label, rhs_is_imm=True)
+        builder.label(label)
+
+
+def loop_header(builder: ProgramBuilder, name: str) -> str:
+    """Open a counted loop; returns the label to close with ``loop_footer``."""
+    label = f"{name}_top"
+    builder.label(label)
+    return label
+
+
+def loop_footer(builder: ProgramBuilder, label: str, counter_reg: int,
+                bound_reg: int, step: int = 1,
+                annotation: str = "induction") -> None:
+    """Close a counted loop: ``counter += step; if counter < bound goto top``.
+
+    The induction ``addi`` is the canonical p-thread trigger: unrolled
+    copies of it merge into a single larger ``addi`` (the paper's ``i+=2``
+    optimization), making lookahead nearly free for array-walk slices.
+    """
+    builder.addi(counter_reg, counter_reg, step, annotation=annotation)
+    builder.blt(counter_reg, bound_reg, label, annotation="loop-branch")

@@ -1,0 +1,53 @@
+"""Benchmark registry: name -> program builder."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import WorkloadError
+from repro.isa.instruction import Program
+from repro.workloads import spec
+from repro.workloads.inputs import WorkloadInput, input_set
+
+Builder = Callable[[WorkloadInput], Program]
+
+_BUILDERS: Dict[str, Builder] = {
+    "bzip2": spec.build_bzip2,
+    "gap": spec.build_gap,
+    "gcc": spec.build_gcc,
+    "mcf": spec.build_mcf,
+    "parser": spec.build_parser,
+    "twolf": spec.build_twolf,
+    "vortex": spec.build_vortex,
+    "vpr.place": spec.build_vpr_place,
+    "vpr.route": spec.build_vpr_route,
+}
+
+#: The paper's benchmark order (its figures list vpr.place before vpr.route).
+BENCHMARK_NAMES: Tuple[str, ...] = (
+    "bzip2",
+    "gap",
+    "gcc",
+    "mcf",
+    "parser",
+    "twolf",
+    "vortex",
+    "vpr.place",
+    "vpr.route",
+)
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """All benchmark names, in the paper's presentation order."""
+    return BENCHMARK_NAMES
+
+
+def get_program(name: str, input_name: str = "train") -> Program:
+    """Build benchmark ``name`` with the given input set ("train"/"ref")."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARK_NAMES)}"
+        ) from None
+    return builder(input_set(input_name, benchmark=name))

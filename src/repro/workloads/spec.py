@@ -1,0 +1,435 @@
+"""The nine benchmark programs of the paper's evaluation suite.
+
+Each builder returns a :class:`~repro.isa.instruction.Program` whose
+problem loads exhibit the slice structure and memory-boundedness of the
+SPEC2000 integer benchmark it stands in for (see the package docstring
+and DESIGN.md for the substitution argument).  All programs are counted
+loops that halt on their own; dynamic instruction counts land between
+roughly 100K and 200K so full (unsampled) cycle-level simulation stays
+affordable.
+
+Problem loads are annotated (``annotation`` field) so tests and reports
+can refer to them; the selection pipeline itself discovers them from miss
+profiles, not from annotations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import Program
+from repro.workloads.generators import (
+    LCG_MULT,
+    RegAlloc,
+    emit_compute_chain,
+    emit_lcg_advance,
+    emit_lcg_index,
+    emit_predictable_branches,
+    init_index_array,
+    init_pointer_ring,
+    init_random_words,
+    loop_footer,
+    loop_header,
+)
+from repro.workloads.inputs import WorkloadInput
+
+
+def _rng(inp: WorkloadInput, salt: int) -> random.Random:
+    return random.Random((inp.seed << 8) ^ salt)
+
+
+def build_bzip2(inp: WorkloadInput) -> Program:
+    """Indexed gather with a cheap (mergeable-induction) slice.
+
+    Models bzip2's block-sort phase: a sequential walk of an index array
+    followed by a data-dependent gather from a large block.  The slice of
+    the problem load is [induction, idx load, shift, gather], so induction
+    unrolling is nearly free -- which is why PTHSEL unrolls aggressively
+    here and the paper sees a 44-48% p-instruction increase.
+    """
+    b = ProgramBuilder(f"bzip2.{inp.name}")
+    rng = _rng(inp, 0xB21)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(7000)
+    table_bits = 16 + inp.table_shift  # 2^16 words = 512KB (train)
+
+    init_random_words(b, "block", 1 << table_bits, rng)
+    init_index_array(b, "idx", iters, 1 << table_bits, rng)
+    b.data.alloc("out", 512)
+
+    r_i, r_bound, r_off, r_val, r_acc, r_aux, r_tmp = ra.take(7)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters * 8)
+    b.set_reg(r_acc, 0)
+    b.set_reg(r_aux, 0x9E3779B9)
+
+    top = loop_header(b, "sort")
+    b.load(r_tmp, r_i, base_symbol="idx", annotation="idx-load")
+    b.shli(r_off, r_tmp, 3, annotation="idx-scale")
+    b.load(r_val, r_off, base_symbol="block", annotation="problem:bzip2-gather")
+    # Data-dependent, poorly predictable branch on the gathered value.
+    b.andi(r_tmp, r_val, 7, annotation="rank-bit")
+    b.bne(r_tmp, 0, "sort_skip", rhs_is_imm=True, annotation="data-branch")
+    b.add(r_acc, r_acc, r_val, annotation="rank-acc")
+    b.xor(r_acc, r_acc, r_aux)
+    b.label("sort_skip")
+    emit_compute_chain(b, [r_acc, r_aux], 3, dependent=True)
+    emit_compute_chain(b, [r_acc, r_aux, r_val], 6, dependent=False)
+    b.andi(r_tmp, r_i, 511 * 8)
+    b.store(r_acc, r_tmp, base_symbol="out", annotation="out-store")
+    loop_footer(b, top, r_i, r_bound, step=8)
+    b.halt()
+    return b.build()
+
+
+def build_gap(inp: WorkloadInput) -> Program:
+    """Short-slice gather: group-theory bag access via a permutation array.
+
+    Like bzip2 but with a shorter slice, less control, and a table sized
+    for a ~60% miss rate; gap's p-threads in the paper are the shortest
+    (3.6-4.4 instructions).
+    """
+    b = ProgramBuilder(f"gap.{inp.name}")
+    rng = _rng(inp, 0x6A9)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(7500)
+    table_bits = 16 + inp.table_shift  # 512KB
+
+    init_random_words(b, "bag", 1 << table_bits, rng)
+    init_index_array(b, "perm", iters, 1 << table_bits, rng)
+    b.data.alloc("res", 256)
+
+    r_i, r_bound, r_off, r_val, r_acc, r_aux = ra.take(6)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters * 8)
+    b.set_reg(r_aux, 17)
+
+    top = loop_header(b, "bagloop")
+    b.load(r_off, r_i, base_symbol="perm", annotation="perm-load")
+    b.shli(r_off, r_off, 3, annotation="perm-scale")
+    b.load(r_val, r_off, base_symbol="bag", annotation="problem:gap-bag")
+    b.add(r_acc, r_acc, r_val)
+    emit_compute_chain(b, [r_acc, r_aux, r_val], 12, dependent=False)
+    b.andi(r_off, r_i, 255 * 8)
+    b.store(r_acc, r_off, base_symbol="res")
+    loop_footer(b, top, r_i, r_bound, step=8)
+    b.halt()
+    return b.build()
+
+
+def build_gcc(inp: WorkloadInput) -> Program:
+    """Compute-dominated with occasional misses (memory ~25% of runtime).
+
+    Models gcc's RTL walks: long well-predicted ALU stretches punctuated
+    by a gather from a table with a moderate miss rate.
+    """
+    b = ProgramBuilder(f"gcc.{inp.name}")
+    rng = _rng(inp, 0x6CC)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(3600)
+    table_bits = 15 + inp.table_shift  # 256KB: competes with the L2
+
+    init_random_words(b, "rtl", 1 << table_bits, rng)
+    init_index_array(b, "worklist", iters, 1 << table_bits, rng)
+    b.data.alloc("flow", 256)
+
+    r_i, r_bound, r_off, r_val, r_acc, r_aux, r_tmp = ra.take(7)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters * 8)
+    b.set_reg(r_aux, 0x51F1)
+
+    top = loop_header(b, "pass")
+    emit_compute_chain(b, [r_acc, r_aux, r_tmp], 20, dependent=False, annotation="fold")
+    emit_predictable_branches(b, r_i, 2, "pass_chk")
+    b.load(r_off, r_i, base_symbol="worklist", annotation="worklist-load")
+    b.shli(r_off, r_off, 3)
+    b.load(r_val, r_off, base_symbol="rtl", annotation="problem:gcc-rtl")
+    b.add(r_acc, r_acc, r_val)
+    emit_compute_chain(b, [r_acc, r_aux, r_val], 20, dependent=False, annotation="cse")
+    b.andi(r_tmp, r_i, 255 * 8)
+    b.store(r_acc, r_tmp, base_symbol="flow")
+    loop_footer(b, top, r_i, r_bound, step=8)
+    b.halt()
+    return b.build()
+
+
+def build_mcf(inp: WorkloadInput) -> Program:
+    """Pointer chase plus arc-array gathers: the miss-dominated extreme.
+
+    Models mcf's network simplex: a serial chase through the node list (a
+    dependence chain pre-execution cannot shorten, which keeps memory at
+    ~90%+ of the critical path and wedges the ROB) interleaved with two
+    gathers from a large arc array whose indices are induction-derived --
+    the loads the paper's mcf p-threads actually target.  The arc
+    gathers' misses are contemporaneous with the chase misses, so their
+    individual criticality is low: the flat-cost model (O) wildly
+    overestimates their value and floods the machine with p-instructions
+    (the paper's mcf slowdown), while the criticality model throttles.
+    """
+    b = ProgramBuilder(f"mcf.{inp.name}")
+    rng = _rng(inp, 0x3CF)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(7000)
+    n_nodes = 1 << (12 + inp.table_shift)  # 4K nodes x 64B = 256KB
+    arc_bits = 17 + inp.table_shift  # 2^17 words = 1MB of arcs
+
+    head = init_pointer_ring(b, "nodes", n_nodes, 8, rng)
+    init_random_words(b, "arcs", 1 << arc_bits, rng)
+
+    (r_i, r_bound, r_p, r_cost, r_s, r_mult, r_o1, r_o2, r_a1, r_a2,
+     r_acc) = ra.take(11)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters)
+    b.set_reg(r_p, head)
+    b.set_reg(r_s, rng.getrandbits(63))
+    b.set_reg(r_mult, LCG_MULT)
+
+    top = loop_header(b, "simplex")
+    b.load(r_cost, r_p, imm=8, annotation="node-cost")
+    b.load(r_p, r_p, imm=0, annotation="problem:mcf-chase")
+    # Arc scan: two induction-derived gathers from the arc array.
+    emit_lcg_advance(b, r_s, r_mult, annotation="basket-lcg")
+    emit_lcg_index(b, r_s, r_o1, arc_bits, annotation="arc-index-1")
+    b.load(r_a1, r_o1, base_symbol="arcs", annotation="problem:mcf-arc-1")
+    b.shri(r_o2, r_s, 17, annotation="arc-index-2")
+    b.andi(r_o2, r_o2, (1 << arc_bits) - 1, annotation="arc-mask-2")
+    b.shli(r_o2, r_o2, 3, annotation="arc-byte-2")
+    b.load(r_a2, r_o2, base_symbol="arcs", annotation="problem:mcf-arc-2")
+    b.add(r_acc, r_acc, r_cost)
+    b.sub(r_acc, r_acc, r_a1)
+    b.add(r_acc, r_acc, r_a2)
+    loop_footer(b, top, r_i, r_bound)
+    b.halt()
+    return b.build()
+
+
+def build_parser(inp: WorkloadInput) -> Program:
+    """Hash-table probe: a word stream hashed into a half-resident table.
+
+    Models parser's dictionary lookups; the slice includes a multiply, so
+    unrolling is moderately priced.
+    """
+    b = ProgramBuilder(f"parser.{inp.name}")
+    rng = _rng(inp, 0x9A5)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(6000)
+    table_bits = 16 + inp.table_shift
+
+    init_random_words(b, "dict", 1 << table_bits, rng)
+    init_random_words(b, "words", 4096, rng)
+    b.data.alloc("links", 256)
+
+    r_i, r_bound, r_w, r_h, r_val, r_acc, r_mult, r_tmp = ra.take(8)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters * 8)
+    b.set_reg(r_mult, LCG_MULT)
+
+    top = loop_header(b, "parse")
+    b.andi(r_tmp, r_i, 4095 * 8, annotation="stream-wrap")
+    b.load(r_w, r_tmp, base_symbol="words", annotation="word-load")
+    b.mul(r_h, r_w, r_mult, annotation="hash-mul")
+    b.shri(r_h, r_h, 33, annotation="hash-shift")
+    b.andi(r_h, r_h, (1 << table_bits) - 1, annotation="hash-mask")
+    b.shli(r_h, r_h, 3, annotation="hash-byte")
+    b.load(r_val, r_h, base_symbol="dict", annotation="problem:parser-dict")
+    b.andi(r_tmp, r_val, 7, annotation="match-bits")
+    b.bne(r_tmp, 0, "parse_miss", rhs_is_imm=True, annotation="match-branch")
+    b.add(r_acc, r_acc, r_val)
+    b.label("parse_miss")
+    emit_compute_chain(b, [r_acc, r_w], 2, dependent=True, annotation="link")
+    emit_compute_chain(b, [r_acc, r_w, r_h], 6, dependent=False, annotation="link2")
+    b.andi(r_tmp, r_i, 255 * 8)
+    b.store(r_acc, r_tmp, base_symbol="links")
+    loop_footer(b, top, r_i, r_bound, step=8)
+    b.halt()
+    return b.build()
+
+
+def build_twolf(inp: WorkloadInput) -> Program:
+    """Two LCG-driven gathers per iteration: interacting misses.
+
+    Models twolf's cell-swap cost evaluation: two independent random
+    gathers in the same iteration produce contemporaneous L2 misses, the
+    case the paper's interaction-cost averaging (Section 4.1) targets.
+    LCG slices must be replicated per unrolled level (medium cost).
+    """
+    b = ProgramBuilder(f"twolf.{inp.name}")
+    rng = _rng(inp, 0x720F)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(5200)
+    table_bits = 16 + inp.table_shift  # 512KB per array
+
+    init_random_words(b, "cells_x", 1 << table_bits, rng)
+    init_random_words(b, "cells_y", 1 << table_bits, rng)
+    b.data.alloc("cost", 256)
+
+    (r_i, r_bound, r_s1, r_s2, r_mult, r_o1, r_o2, r_v1, r_v2,
+     r_acc, r_tmp) = ra.take(11)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters)
+    b.set_reg(r_s1, rng.getrandbits(63))
+    b.set_reg(r_s2, rng.getrandbits(63))
+    b.set_reg(r_mult, LCG_MULT)
+
+    top = loop_header(b, "anneal")
+    emit_lcg_advance(b, r_s1, r_mult, annotation="lcg-x")
+    emit_lcg_index(b, r_s1, r_o1, table_bits, annotation="lcg-x-index")
+    b.load(r_v1, r_o1, base_symbol="cells_x", annotation="problem:twolf-x")
+    emit_lcg_advance(b, r_s2, r_mult, annotation="lcg-y")
+    emit_lcg_index(b, r_s2, r_o2, table_bits, annotation="lcg-y-index")
+    b.load(r_v2, r_o2, base_symbol="cells_y", annotation="problem:twolf-y")
+    b.sub(r_acc, r_acc, r_v2, annotation="delta-cost")
+    b.andi(r_tmp, r_v1, 7, annotation="accept-bits")
+    b.bne(r_tmp, 0, "anneal_rej", rhs_is_imm=True, annotation="accept-branch")
+    b.add(r_acc, r_acc, r_tmp)
+    b.label("anneal_rej")
+    emit_compute_chain(b, [r_acc, r_v1], 2, dependent=True, annotation="update")
+    emit_compute_chain(b, [r_acc, r_v1, r_v2], 6, dependent=False, annotation="update2")
+    b.andi(r_tmp, r_i, 255)
+    b.shli(r_tmp, r_tmp, 3)
+    b.store(r_acc, r_tmp, base_symbol="cost")
+    loop_footer(b, top, r_i, r_bound)
+    b.halt()
+    return b.build()
+
+
+def build_vortex(inp: WorkloadInput) -> Program:
+    """Long-slice object lookup: directory load feeding an object gather.
+
+    Models vortex's OO database traversal: the problem load's address goes
+    through a directory load plus several ALU stages, so selected p-threads
+    are long (~13 instructions in the paper) even at shallow unrolling.
+    """
+    b = ProgramBuilder(f"vortex.{inp.name}")
+    rng = _rng(inp, 0x70E)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(4600)
+    table_bits = 15 + inp.table_shift  # 256KB object pool
+
+    init_random_words(b, "objects", 1 << table_bits, rng)
+    init_index_array(b, "directory", 8192, 1 << (table_bits - 2), rng)
+    b.data.alloc("fields", 256)
+
+    r_i, r_bound, r_d, r_off, r_val, r_acc, r_aux, r_tmp = ra.take(8)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters * 8)
+    b.set_reg(r_aux, 0x2545F491)
+
+    top = loop_header(b, "lookup")
+    b.andi(r_tmp, r_i, 8191 * 8, annotation="dir-wrap")
+    b.load(r_d, r_tmp, base_symbol="directory", annotation="dir-load")
+    # Several dependent address-generation stages (chunk + offset math).
+    b.shli(r_off, r_d, 2, annotation="chunk-scale")
+    b.add(r_off, r_off, r_d, annotation="chunk-add")
+    b.andi(r_off, r_off, (1 << table_bits) - 1, annotation="chunk-mask")
+    b.shli(r_off, r_off, 3, annotation="chunk-byte")
+    b.load(r_val, r_off, base_symbol="objects", annotation="problem:vortex-obj")
+    emit_predictable_branches(b, r_i, 2, "lookup_chk")
+    b.add(r_acc, r_acc, r_val)
+    emit_compute_chain(b, [r_acc, r_aux, r_val], 12, dependent=False, annotation="valid")
+    b.andi(r_tmp, r_i, 255 * 8)
+    b.store(r_acc, r_tmp, base_symbol="fields")
+    loop_footer(b, top, r_i, r_bound, step=8)
+    b.halt()
+    return b.build()
+
+
+def build_vpr_place(inp: WorkloadInput) -> Program:
+    """Simulated-annealing placement: paired grid gathers with a swap.
+
+    Like twolf but with a data-dependent store (the accepted swap) and a
+    slightly cheaper slice; in the paper vpr.place is where E-p-threads'
+    energy prediction is most optimistic.
+    """
+    b = ProgramBuilder(f"vpr.place.{inp.name}")
+    rng = _rng(inp, 0x59C1)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(5600)
+    table_bits = 16 + inp.table_shift  # 512KB grid
+
+    init_random_words(b, "grid", 1 << table_bits, rng)
+    b.data.alloc("trace_buf", 256)
+
+    r_i, r_bound, r_s, r_mult, r_o1, r_o2, r_v1, r_v2, r_acc, r_tmp = ra.take(10)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters)
+    b.set_reg(r_s, rng.getrandbits(63))
+    b.set_reg(r_mult, LCG_MULT)
+
+    top = loop_header(b, "place")
+    emit_lcg_advance(b, r_s, r_mult, annotation="lcg-s")
+    emit_lcg_index(b, r_s, r_o1, table_bits, annotation="lcg-o1")
+    b.load(r_v1, r_o1, base_symbol="grid", annotation="problem:vpr-place-a")
+    b.shri(r_o2, r_s, 13, annotation="second-index")
+    b.andi(r_o2, r_o2, (1 << table_bits) - 1, annotation="second-mask")
+    b.shli(r_o2, r_o2, 3, annotation="second-byte")
+    b.load(r_v2, r_o2, base_symbol="grid", annotation="problem:vpr-place-b")
+    b.sub(r_acc, r_acc, r_v2, annotation="swap-delta")
+    b.andi(r_tmp, r_v1, 7, annotation="swap-bits")
+    b.bne(r_tmp, 0, "place_rej", rhs_is_imm=True, annotation="swap-branch")
+    b.store(r_v2, r_o1, base_symbol="grid", annotation="swap-store-a")
+    b.store(r_v1, r_o2, base_symbol="grid", annotation="swap-store-b")
+    b.label("place_rej")
+    b.add(r_acc, r_acc, r_v1)
+    emit_compute_chain(b, [r_acc, r_v1], 2, dependent=True, annotation="temp")
+    emit_compute_chain(b, [r_acc, r_v1, r_v2], 4, dependent=False, annotation="temp2")
+    b.andi(r_tmp, r_i, 255)
+    b.shli(r_tmp, r_tmp, 3)
+    b.store(r_acc, r_tmp, base_symbol="trace_buf")
+    loop_footer(b, top, r_i, r_bound)
+    b.halt()
+    return b.build()
+
+
+def build_vpr_route(inp: WorkloadInput) -> Program:
+    """Routing-graph walk: a serial chase plus prefetchable cost lookups.
+
+    Models vpr's maze router expanding nodes along a wavefront: the
+    routing-resource chase is a dependence chain pre-execution cannot
+    shorten, but each expansion also probes a large congestion-cost table
+    via a wavefront recurrence -- those gathers are what p-threads can
+    cover, at a medium per-level (LCG) hoisting cost.
+    """
+    b = ProgramBuilder(f"vpr.route.{inp.name}")
+    rng = _rng(inp, 0x59C2)
+    ra = RegAlloc()
+    iters = inp.scale_iterations(6500)
+    n_nodes = 1 << (15 + inp.table_shift)
+
+    head = init_pointer_ring(b, "rr_nodes", n_nodes, 8, rng)
+    cost_bits = 16  # 512KB of per-segment congestion costs
+    init_random_words(b, "costs", 1 << cost_bits, rng)
+    b.data.alloc("path", 256)
+
+    (r_i, r_bound, r_p, r_pay, r_off, r_c, r_acc, r_tmp, r_s,
+     r_mult) = ra.take(10)
+    b.set_reg(r_i, 0)
+    b.set_reg(r_bound, iters)
+    b.set_reg(r_p, head)
+    b.set_reg(r_s, rng.getrandbits(63))
+    b.set_reg(r_mult, LCG_MULT)
+
+    top = loop_header(b, "route")
+    b.load(r_pay, r_p, imm=8, annotation="node-payload")
+    b.load(r_p, r_p, imm=0, annotation="problem:vpr-route-chase")
+    # Congestion-cost lookup for the expanded segment: the index derives
+    # from the wavefront recurrence (not the chase), so it is prefetchable
+    # even though the chase itself is not.
+    emit_lcg_advance(b, r_s, r_mult, annotation="wave-lcg")
+    emit_lcg_index(b, r_s, r_off, cost_bits, annotation="wave-index")
+    b.load(r_c, r_off, base_symbol="costs",
+           annotation="problem:vpr-route-cost")
+    b.add(r_acc, r_acc, r_c, annotation="path-cost")
+    b.andi(r_tmp, r_pay, 7, annotation="fanout-bits")
+    b.bne(r_tmp, 0, "route_leaf", rhs_is_imm=True, annotation="fanout-branch")
+    b.xor(r_acc, r_acc, r_pay)
+    b.label("route_leaf")
+    emit_compute_chain(b, [r_acc, r_pay], 2, dependent=True, annotation="pq")
+    emit_compute_chain(b, [r_acc, r_pay, r_c], 8, dependent=False, annotation="pq2")
+    b.andi(r_tmp, r_i, 255)
+    b.shli(r_tmp, r_tmp, 3)
+    b.store(r_acc, r_tmp, base_symbol="path")
+    loop_footer(b, top, r_i, r_bound)
+    b.halt()
+    return b.build()

@@ -1,0 +1,44 @@
+"""Tests for the branch target buffer."""
+
+import pytest
+
+from repro.branch.btb import BTB
+from repro.errors import ConfigError
+
+
+def test_miss_then_hit():
+    btb = BTB(16)
+    assert btb.lookup(100) == -1
+    btb.update(100, 7)
+    assert btb.lookup(100) == 7
+
+
+def test_lru_capacity_eviction():
+    btb = BTB(2)
+    btb.update(1, 10)
+    btb.update(2, 20)
+    btb.lookup(1)        # promote
+    btb.update(3, 30)    # evicts pc=2
+    assert btb.lookup(1) == 10
+    assert btb.lookup(2) == -1
+
+
+def test_update_overwrites_target():
+    btb = BTB(4)
+    btb.update(1, 10)
+    btb.update(1, 99)
+    assert btb.lookup(1) == 99
+
+
+def test_stats_counted():
+    btb = BTB(4)
+    btb.lookup(5)
+    btb.update(5, 1)
+    btb.lookup(5)
+    assert btb.stats.lookups == 2
+    assert btb.stats.misses == 1
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ConfigError):
+        BTB(0)

@@ -1,0 +1,101 @@
+"""Tests for the dependence-graph forward pass."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.critpath.classify import classify_trace
+from repro.critpath.graph import ForwardPass, service_latency
+from repro.frontend import interpret
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+
+
+def _serial_chain(n=60):
+    b = ProgramBuilder("chain")
+    b.li(Reg.r1, 1)
+    for _ in range(n):
+        b.add(Reg.r1, Reg.r1, Reg.r1)
+    b.halt()
+    return interpret(b.build())
+
+
+def _parallel_ops(n=60):
+    b = ProgramBuilder("par")
+    for k in range(n):
+        b.li(Reg.r1 + (k % 8), k)
+    b.halt()
+    return interpret(b.build())
+
+
+def test_service_latency_levels():
+    m = MachineConfig()
+    assert service_latency("l1", m) == m.dcache.hit_latency
+    assert service_latency("l2", m) == m.dcache.hit_latency + m.l2.hit_latency
+    assert service_latency("mem", m) > m.memory_latency
+
+
+def test_serial_chain_longer_than_parallel():
+    serial = ForwardPass(_serial_chain()).run()
+    parallel = ForwardPass(_parallel_ops()).run()
+    assert serial > parallel
+
+
+def test_parallel_ops_bounded_by_width():
+    n = 120
+    time = ForwardPass(_parallel_ops(n)).run()
+    # Width-6 dispatch: ~n/6 cycles plus pipeline constants.
+    assert time < n / 3
+
+
+def test_latency_override_shortens_execution():
+    b = ProgramBuilder("mem")
+    b.data.alloc("t", 8)
+    b.li(Reg.r1, b.data.base("t"))
+    b.load(Reg.r2, Reg.r1)
+    b.add(Reg.r3, Reg.r2, Reg.r2)  # dependent on the load
+    b.halt()
+    trace = interpret(b.build())
+    cls = classify_trace(trace, warm=False)
+    fp = ForwardPass(trace, classification=cls)
+    base = fp.run()
+    load_seq = next(d.seq for d in trace if d.is_load)
+    reduced = fp.run({load_seq: 2.0})
+    assert reduced < base
+
+
+def test_mispredicted_branches_add_refill():
+    import random
+    rng = random.Random(4)
+    b = ProgramBuilder("br")
+    b.data.alloc("bits", 128)
+    b.data.fill("bits", [rng.randint(0, 1) for _ in range(128)])
+    b.set_reg(Reg.r2, 128 * 8)
+    b.li(Reg.r1, 0)
+    b.label("top")
+    b.load(Reg.r3, Reg.r1, base_symbol="bits")
+    b.beq(Reg.r3, 0, "skip", rhs_is_imm=True)
+    b.nop()
+    b.label("skip")
+    b.addi(Reg.r1, Reg.r1, 8)
+    b.blt(Reg.r1, Reg.r2, "top")
+    b.halt()
+    trace = interpret(b.build())
+    cls = classify_trace(trace)
+    with_mispredicts = ForwardPass(trace, classification=cls).run()
+    cls.mispredicted.clear()
+    without = ForwardPass(trace, classification=cls).run()
+    assert with_mispredicts > without
+
+
+def test_window_restriction():
+    trace = _serial_chain(100)
+    full = ForwardPass(trace)
+    half = ForwardPass(trace, end=len(trace) // 2)
+    assert len(half) == len(trace) // 2
+    assert half.run() < full.run()
+
+
+def test_rerun_is_pure():
+    fp = ForwardPass(_serial_chain())
+    assert fp.run() == fp.run()
+    assert fp.run({0: 50.0}) >= fp.run()

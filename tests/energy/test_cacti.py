@@ -1,0 +1,25 @@
+"""Tests for the CACTI-like L2 energy scaling law."""
+
+import pytest
+
+from repro.energy.cacti import BASELINE_L2_BYTES, l2_access_energy_scale
+from repro.errors import ConfigError
+
+
+def test_baseline_is_unity():
+    assert l2_access_energy_scale(BASELINE_L2_BYTES) == pytest.approx(1.0)
+
+
+def test_monotone_in_capacity():
+    sizes = [64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024]
+    scales = [l2_access_energy_scale(s) for s in sizes]
+    assert scales == sorted(scales)
+
+
+def test_sqrt_law():
+    assert l2_access_energy_scale(4 * BASELINE_L2_BYTES) == pytest.approx(2.0)
+
+
+def test_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        l2_access_energy_scale(0)

@@ -1,0 +1,48 @@
+"""Tests for ED/ED^2 metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.metrics import ed, ed2, relative_metrics
+from repro.errors import ConfigError
+
+pos = st.floats(min_value=0.1, max_value=1e6, allow_nan=False)
+
+
+def test_ed_and_ed2_basics():
+    assert ed(2.0, 3.0) == 6.0
+    assert ed2(2.0, 3.0) == 18.0
+
+
+def test_relative_metrics_signs():
+    m = relative_metrics(100.0, 10.0, 80.0, 11.0)
+    assert m["speedup_pct"] == pytest.approx(20.0)
+    assert m["energy_save_pct"] == pytest.approx(-10.0)
+    # ED improves: 0.8 * 1.1 = 0.88 < 1.
+    assert m["ed_save_pct"] == pytest.approx(12.0)
+
+
+def test_zero_baseline_rejected():
+    with pytest.raises(ConfigError):
+        relative_metrics(0.0, 1.0, 1.0, 1.0)
+
+
+@given(d0=pos, e0=pos, d1=pos, e1=pos)
+def test_relative_metric_identities(d0, e0, d1, e1):
+    m = relative_metrics(d0, e0, d1, e1)
+    # ED2 save relates to ED and speedup consistently:
+    # (1 - ed2) == 1 - (1-ed)*(1-spd) in relative space.
+    rel_d = 1.0 - m["speedup_pct"] / 100.0
+    rel_e = 1.0 - m["energy_save_pct"] / 100.0
+    assert 1.0 - m["ed_save_pct"] / 100.0 == pytest.approx(
+        rel_d * rel_e, rel=1e-6
+    )
+    assert 1.0 - m["ed2_save_pct"] / 100.0 == pytest.approx(
+        rel_d * rel_d * rel_e, rel=1e-6
+    )
+
+
+def test_unchanged_run_scores_zero():
+    m = relative_metrics(50.0, 5.0, 50.0, 5.0)
+    assert all(abs(v) < 1e-9 for v in m.values())

@@ -1,0 +1,105 @@
+"""Tests for the Wattch-style energy model."""
+
+import pytest
+
+from repro.config import EnergyConfig, MachineConfig
+from repro.cpu.stats import ActivityCounts
+from repro.energy.wattch import EnergyModel
+
+
+def _idle_activity(cycles=1000):
+    return ActivityCounts(cycles=cycles)
+
+
+def _busy_activity(cycles=1000):
+    width = MachineConfig().width
+    return ActivityCounts(
+        cycles=cycles,
+        fetch_blocks_main=cycles,
+        bpred_accesses=cycles,
+        dispatched_main=cycles * width,
+        alu_ops_main=cycles * 6,
+        dmem_accesses_main=cycles * 3,
+        l2_accesses_main=cycles,
+        committed_main=cycles * width,
+    )
+
+
+def test_idle_machine_draws_idle_factor():
+    cfg = EnergyConfig()
+    model = EnergyModel(cfg)
+    result = model.evaluate(_idle_activity())
+    expected = 1000 * cfg.idle_factor * cfg.e_max_per_cycle
+    assert result.total_joules == pytest.approx(expected)
+    assert result.idle_joules == pytest.approx(expected)
+
+
+def test_full_activity_approaches_e_max():
+    cfg = EnergyConfig()
+    model = EnergyModel(cfg)
+    result = model.evaluate(_busy_activity())
+    e_max_total = 1000 * cfg.e_max_per_cycle
+    # Full-port activity should land near e_max (calibration property).
+    assert 0.9 * e_max_total <= result.total_joules <= 1.1 * e_max_total
+
+
+def test_energy_scales_with_activity():
+    model = EnergyModel()
+    half = _busy_activity()
+    half.dispatched_main //= 2
+    half.alu_ops_main //= 2
+    full = _busy_activity()
+    assert model.evaluate(half).total_joules < model.evaluate(full).total_joules
+
+
+def test_idle_factor_zero_removes_idle_energy():
+    model = EnergyModel(EnergyConfig().with_idle_factor(0.0))
+    result = model.evaluate(_idle_activity())
+    assert result.total_joules == 0.0
+
+
+def test_pthread_attribution_separates_categories():
+    model = EnergyModel()
+    act = _idle_activity()
+    act.dispatched_pth = 500
+    act.fetch_blocks_pth = 100
+    act.dmem_accesses_pth = 50
+    act.l2_accesses_pth = 20
+    act.alu_ops_pth = 300
+    result = model.evaluate(act)
+    assert result.breakdown.pthread_total > 0
+    assert result.breakdown.joules["ooo_pth"] > 0
+    assert result.breakdown.joules["imem_pth"] > 0
+    assert result.breakdown.joules["ooo_main"] == 0
+
+
+def test_l2_energy_scales_with_capacity():
+    small = EnergyModel(machine=MachineConfig().scaled_l2(128 * 1024, 10))
+    big = EnergyModel(machine=MachineConfig().scaled_l2(512 * 1024, 15))
+    act = _idle_activity()
+    act.l2_accesses_main = 1000
+    assert (
+        small.evaluate(act).total_joules < big.evaluate(act).total_joules
+    )
+
+
+def test_pthsel_constants_match_paper_shares():
+    """E8: the constants should sit near the paper's fractions of max
+    per-cycle energy (fetch 9%, xall ~4.9%, alu 0.8%, load ~3.8%,
+    L2 13.6%, idle 5%)."""
+    cfg = EnergyConfig()
+    model = EnergyModel(cfg)
+    c = model.pthsel_constants()
+    e_max = cfg.e_max_per_cycle
+    assert c["e_idle"] / e_max == pytest.approx(0.05)
+    assert c["e_l2"] / e_max == pytest.approx(0.136 * 0.95, rel=0.05)
+    assert 0.05 < c["e_fetch"] / e_max < 0.20
+    assert c["e_xalu"] < c["e_xload"] < c["e_xall"] + c["e_xload"]
+
+
+def test_breakdown_total_matches_result_total():
+    model = EnergyModel()
+    result = model.evaluate(_busy_activity())
+    assert result.breakdown.total == pytest.approx(result.total_joules)
+    fractions = result.breakdown.fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)

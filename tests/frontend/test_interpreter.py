@@ -1,0 +1,183 @@
+"""Tests for the functional interpreter and trace dataflow."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.frontend import interpret
+from repro.frontend.trace import NO_PRODUCER
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.registers import Reg
+
+
+def _counting_loop(n):
+    b = ProgramBuilder("count")
+    b.set_reg(Reg.r2, n)
+    b.li(Reg.r1, 0)
+    b.label("top")
+    b.addi(Reg.r1, Reg.r1, 1)
+    b.blt(Reg.r1, Reg.r2, "top")
+    b.halt()
+    return b.build()
+
+
+def test_counting_loop_executes_n_iterations():
+    trace = interpret(_counting_loop(10))
+    addis = [d for d in trace if d.op is Op.ADDI]
+    assert len(addis) == 10
+
+
+def test_trace_ends_with_halt():
+    trace = interpret(_counting_loop(3))
+    assert trace.insts[-1].op is Op.HALT
+
+
+def test_runaway_program_raises():
+    b = ProgramBuilder("spin")
+    b.label("top")
+    b.jump("top")
+    with pytest.raises(ExecutionError, match="did not halt"):
+        interpret(b.build(), max_instructions=100)
+
+
+def test_runaway_truncates_when_halt_not_required():
+    b = ProgramBuilder("spin")
+    b.label("top")
+    b.jump("top")
+    trace = interpret(b.build(), max_instructions=50, require_halt=False)
+    assert len(trace) == 50
+
+
+def test_producer_links_point_to_last_writer():
+    b = ProgramBuilder("dataflow")
+    b.li(Reg.r1, 5)       # seq 0
+    b.li(Reg.r2, 7)       # seq 1
+    b.add(Reg.r3, Reg.r1, Reg.r2)  # seq 2
+    b.add(Reg.r4, Reg.r3, Reg.r3)  # seq 3
+    b.halt()
+    trace = interpret(b.build())
+    assert (trace[2].src1_seq, trace[2].src2_seq) == (0, 1)
+    assert (trace[3].src1_seq, trace[3].src2_seq) == (2, 2)
+
+
+def test_initial_register_values_have_no_producer():
+    b = ProgramBuilder("init")
+    b.set_reg(Reg.r1, 42)
+    b.mov(Reg.r2, Reg.r1)
+    b.halt()
+    trace = interpret(b.build())
+    assert trace[0].src1_seq == NO_PRODUCER
+
+
+def test_store_load_roundtrip_through_memory():
+    b = ProgramBuilder("mem")
+    buf = b.data.alloc("buf", 2)
+    b.li(Reg.r1, 1234)
+    b.li(Reg.r2, buf)
+    b.store(Reg.r1, Reg.r2, imm=8)
+    b.load(Reg.r3, Reg.r2, imm=8)
+    b.bne(Reg.r3, Reg.r1, "fail")
+    b.halt()
+    b.label("fail")
+    b.nop()
+    b.halt()
+    trace = interpret(b.build())
+    # The BNE must fall through (values equal): trace ends at first halt.
+    assert trace.insts[-1].op is Op.HALT
+    assert not trace[4].taken
+    assert trace[3].addr == trace[2].addr  # load sees the store's address
+
+
+def test_branch_taken_direction_and_next_pc():
+    b = ProgramBuilder("br")
+    b.li(Reg.r1, 1)
+    b.beq(Reg.r1, Reg.r1, "over")
+    b.nop()
+    b.label("over")
+    b.halt()
+    trace = interpret(b.build())
+    branch = trace[1]
+    assert branch.taken and branch.next_pc == 3
+    assert len(trace) == 3  # nop skipped
+
+
+def test_data_image_visible_to_loads():
+    b = ProgramBuilder("img")
+    base = b.data.alloc("t", 4)
+    b.data.set_word("t", 2, 77)
+    b.li(Reg.r1, base)
+    b.load(Reg.r2, Reg.r1, imm=16)
+    b.beq(Reg.r2, 77, "good", rhs_is_imm=True)
+    b.halt()  # reached only if load returned wrong value
+    b.label("good")
+    b.nop()
+    b.halt()
+    trace = interpret(b.build())
+    assert trace.insts[-2].op is Op.NOP
+
+
+def test_r0_writes_discarded():
+    b = ProgramBuilder("zero")
+    b.li(Reg.r0, 99)
+    b.bne(Reg.r0, 0, "bad", rhs_is_imm=True)
+    b.halt()
+    b.label("bad")
+    b.nop()
+    b.halt()
+    trace = interpret(b.build())
+    assert trace.insts[-1].op is Op.HALT
+    assert trace.insts[-2].op is not Op.NOP
+
+
+def test_pc_hooks_fire_with_architectural_state():
+    observed = []
+
+    def hook(seq, state):
+        observed.append((seq, state.regs[Reg.r1]))
+
+    prog = _counting_loop(4)
+    addi_pc = next(i.pc for i in prog if i.op is Op.ADDI)
+    interpret(prog, pc_hooks={addi_pc: hook})
+    # Hook sees post-increment values 1..4.
+    assert [v for _, v in observed] == [1, 2, 3, 4]
+
+
+def test_unwritten_memory_reads_zero():
+    b = ProgramBuilder("cold")
+    b.li(Reg.r1, 0x20000)
+    b.load(Reg.r2, Reg.r1)
+    b.bne(Reg.r2, 0, "bad", rhs_is_imm=True)
+    b.halt()
+    b.label("bad")
+    b.nop()
+    b.halt()
+    trace = interpret(b.build())
+    assert trace.insts[-2].op is not Op.NOP
+
+
+class TestTraceQueries:
+    def test_summary_counts(self):
+        trace = interpret(_counting_loop(5))
+        s = trace.summary()
+        assert s["branches"] == 5
+        assert s["instructions"] == len(trace)
+
+    def test_branch_stats(self):
+        trace = interpret(_counting_loop(5))
+        stats = trace.branch_stats()
+        (pc, entry), = stats.items()
+        assert entry["total"] == 5 and entry["taken"] == 4
+
+    def test_occurrences(self):
+        prog = _counting_loop(6)
+        trace = interpret(prog)
+        addi_pc = next(i.pc for i in prog if i.op is Op.ADDI)
+        assert len(trace.occurrences(addi_pc)) == 6
+
+
+@given(n=st.integers(min_value=1, max_value=40))
+def test_loop_iteration_count_matches_bound(n):
+    trace = interpret(_counting_loop(n))
+    assert sum(1 for d in trace if d.op is Op.ADDI) == n

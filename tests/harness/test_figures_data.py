@@ -1,0 +1,39 @@
+"""Fast tests for the figure-data helpers (no simulations)."""
+
+import pytest
+
+from repro.harness.figures import FigureData
+
+
+def _rows():
+    return [
+        {"benchmark": "a", "target": "L", "speedup_pct": 20.0,
+         "energy_save_pct": -5.0},
+        {"benchmark": "b", "target": "L", "speedup_pct": 10.0,
+         "energy_save_pct": -10.0},
+        {"benchmark": "a", "target": "E", "speedup_pct": 5.0,
+         "energy_save_pct": 1.0},
+        {"benchmark": "b", "target": "E", "speedup_pct": 0.0,
+         "energy_save_pct": 0.0},
+    ]
+
+
+def test_gmeans_group_by_target():
+    data = FigureData(rows=_rows())
+    gm = data.gmeans("speedup_pct")
+    assert set(gm) == {"L", "E"}
+    assert 10.0 < gm["L"] < 20.0
+    assert 0.0 <= gm["E"] <= 5.0
+
+
+def test_gmeans_other_metric():
+    data = FigureData(rows=_rows())
+    gm = data.gmeans("energy_save_pct")
+    assert gm["L"] < 0 < gm["E"] or gm["E"] >= 0
+
+
+def test_render_contains_all_rows():
+    data = FigureData(rows=_rows())
+    text = data.render()
+    assert text.count("\n") >= 5
+    assert "benchmark" in text

@@ -1,0 +1,57 @@
+"""Tests for the periodic-sampling engine."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.cpu.pipeline import simulate
+from repro.frontend import interpret
+from repro.harness.sampling import sampled_simulate
+from repro.workloads import get_program
+
+
+@pytest.fixture(scope="module")
+def gap_trace():
+    return interpret(get_program("gap"), max_instructions=2_000_000)
+
+
+def test_full_fraction_equals_direct_simulation(gap_trace):
+    direct = simulate(gap_trace)
+    est = sampled_simulate(
+        gap_trace, sim=SimulationConfig(sample_fraction=1.0)
+    )
+    assert est.estimated_cycles == direct.cycles
+    assert est.n_samples == 1
+    assert est.coverage == 1.0
+
+
+def test_sampled_estimate_close_to_full(gap_trace):
+    full = simulate(gap_trace)
+    est = sampled_simulate(
+        gap_trace,
+        sim=SimulationConfig(
+            sample_fraction=0.25, sample_instructions=8_000
+        ),
+    )
+    assert est.n_samples >= 3
+    assert est.coverage < 0.5
+    # Periodic sampling of a steady loop should land within 25%.
+    assert est.estimated_cycles == pytest.approx(full.cycles, rel=0.25)
+
+
+def test_sample_stats_are_per_window(gap_trace):
+    est = sampled_simulate(
+        gap_trace,
+        sim=SimulationConfig(sample_fraction=0.2, sample_instructions=5_000),
+    )
+    assert len(est.sample_stats) == est.n_samples
+    assert est.measured_instructions == sum(
+        s.committed for s in est.sample_stats
+    )
+
+
+def test_empty_trace_rejected(gap_trace):
+    from repro.errors import ConfigError
+    from repro.frontend.trace import Trace
+
+    with pytest.raises(ConfigError):
+        sampled_simulate(Trace(gap_trace.program, []))

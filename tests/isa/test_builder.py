@@ -1,0 +1,115 @@
+"""Tests for the ProgramBuilder DSL and data segment."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import WORD_BYTES, ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.registers import Reg
+
+
+def test_simple_loop_builds_and_resolves_labels():
+    b = ProgramBuilder("loop")
+    b.li(Reg.r1, 0)
+    b.label("top")
+    b.addi(Reg.r1, Reg.r1, 1)
+    b.blt(Reg.r1, 10, "top", rhs_is_imm=True)
+    b.halt()
+    prog = b.build()
+    branch = prog.instructions[-2]
+    assert branch.op is Op.BLT
+    assert branch.target == 1  # the label "top"
+
+
+def test_undefined_label_raises():
+    b = ProgramBuilder("bad")
+    b.jump("nowhere")
+    b.halt()
+    with pytest.raises(ProgramError, match="nowhere"):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder("dup")
+    b.label("x")
+    with pytest.raises(ProgramError, match="defined twice"):
+        b.label("x")
+
+
+def test_data_alloc_is_aligned_and_disjoint():
+    b = ProgramBuilder("data")
+    a = b.data.alloc("a", 10)
+    c = b.data.alloc("c", 5)
+    assert a % 64 == 0 and c % 64 == 0
+    assert c >= a + 10 * WORD_BYTES
+
+
+def test_data_fill_and_set_word():
+    b = ProgramBuilder("data")
+    base = b.data.alloc("t", 4)
+    b.data.fill("t", [10, 20, 30, 40])
+    assert b.data.image[base] == 10
+    assert b.data.image[base + 3 * WORD_BYTES] == 40
+    with pytest.raises(ProgramError):
+        b.data.set_word("t", 4, 1)
+
+
+def test_data_double_alloc_raises():
+    b = ProgramBuilder("data")
+    b.data.alloc("t", 4)
+    with pytest.raises(ProgramError, match="allocated twice"):
+        b.data.alloc("t", 4)
+
+
+def test_base_symbol_folds_region_base_into_immediate():
+    b = ProgramBuilder("sym")
+    base = b.data.alloc("arr", 8)
+    b.li(Reg.r1, 0)
+    inst = b.load(Reg.r2, Reg.r1, imm=16, base_symbol="arr")
+    assert inst.imm == base + 16
+    b.halt()
+    b.build()
+
+
+def test_rhs_is_imm_materializes_scratch_li():
+    b = ProgramBuilder("imm")
+    b.label("top")
+    b.li(Reg.r1, 0)
+    b.blt(Reg.r1, 7, "top", rhs_is_imm=True)
+    b.halt()
+    prog = b.build()
+    li = prog.instructions[1]
+    assert li.op is Op.LI and li.imm == 7 and li.rd == 31
+
+
+def test_initial_registers_recorded():
+    b = ProgramBuilder("regs")
+    b.set_reg(Reg.r5, 1234)
+    b.halt()
+    prog = b.build()
+    assert prog.initial_regs[Reg.r5] == 1234
+
+
+def test_program_validates_pc_sequence():
+    from repro.isa.instruction import Program, StaticInst
+
+    good = [StaticInst(0, Op.NOP), StaticInst(1, Op.HALT)]
+    Program("ok", good)
+    bad = [StaticInst(0, Op.NOP), StaticInst(5, Op.HALT)]
+    with pytest.raises(ProgramError, match="mismatch"):
+        Program("bad", bad)
+
+
+def test_program_rejects_out_of_range_targets():
+    from repro.isa.instruction import Program, StaticInst
+
+    insts = [StaticInst(0, Op.JMP, target=9), StaticInst(1, Op.HALT)]
+    with pytest.raises(ProgramError, match="out of range"):
+        Program("bad", insts)
+
+
+def test_listing_mentions_annotations():
+    b = ProgramBuilder("ann")
+    b.li(Reg.r1, 1, annotation="the-answer")
+    b.halt()
+    assert "the-answer" in b.build().listing()

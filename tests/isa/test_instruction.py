@@ -1,0 +1,58 @@
+"""Validation tests for StaticInst operand checking."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import Op
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(op=Op.ADD, rs1=1, rs2=2),  # missing rd
+        dict(op=Op.ADD, rd=1, rs1=2),  # missing rs2
+        dict(op=Op.ADDI, rd=1, rs1=2),  # missing imm
+        dict(op=Op.LD, rd=1),  # missing base
+        dict(op=Op.ST, rs1=1),  # missing data reg
+        dict(op=Op.BEQ, rs1=1, rs2=2),  # missing target
+        dict(op=Op.JMP),  # missing target
+        dict(op=Op.ADD, rd=77, rs1=1, rs2=2),  # bad register
+    ],
+)
+def test_malformed_instructions_rejected(kwargs):
+    with pytest.raises(ProgramError):
+        StaticInst(pc=0, **kwargs)
+
+
+def test_sources_for_reg_reg_alu():
+    inst = StaticInst(0, Op.ADD, rd=3, rs1=1, rs2=2)
+    assert inst.sources == (1, 2)
+    assert inst.dest == 3
+
+
+def test_sources_for_immediate_alu_excludes_rs2():
+    inst = StaticInst(0, Op.ADDI, rd=3, rs1=1, imm=5)
+    assert inst.sources == (1,)
+
+
+def test_sources_for_li_empty():
+    inst = StaticInst(0, Op.LI, rd=3, imm=5)
+    assert inst.sources == ()
+
+
+def test_store_reads_base_and_data():
+    inst = StaticInst(0, Op.ST, rs1=1, rs2=2, imm=0)
+    assert inst.sources == (1, 2)
+    assert inst.dest is None
+
+
+def test_branch_reads_both_operands():
+    inst = StaticInst(0, Op.BEQ, rs1=1, rs2=2, target=0)
+    assert inst.sources == (1, 2)
+
+
+def test_str_is_informative():
+    inst = StaticInst(0, Op.LD, rd=2, rs1=1, imm=64, annotation="probe")
+    text = str(inst)
+    assert "ld" in text and "r2" in text and "probe" in text

@@ -1,0 +1,116 @@
+"""Unit and property tests for opcode semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import (
+    ALU_SEMANTICS,
+    BRANCH_SEMANTICS,
+    IMMEDIATE_OPS,
+    Op,
+    OpClass,
+)
+
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestClassification:
+    def test_every_op_has_a_class(self):
+        for op in Op:
+            assert isinstance(op.op_class, OpClass)
+
+    def test_load_store_flags(self):
+        assert Op.LD.is_load and not Op.LD.is_store
+        assert Op.ST.is_store and not Op.ST.is_load
+
+    def test_branches_are_control(self):
+        for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            assert op.is_branch and op.is_control
+        assert Op.JMP.is_control and not Op.JMP.is_branch
+
+    def test_register_writers(self):
+        assert Op.ADD.writes_register
+        assert Op.LD.writes_register
+        for op in (Op.ST, Op.BEQ, Op.JMP, Op.NOP, Op.HALT):
+            assert not op.writes_register
+
+    def test_alu_ops_have_semantics(self):
+        for op in Op:
+            if op.op_class in (OpClass.ALU, OpClass.MUL):
+                assert op in ALU_SEMANTICS
+            if op.op_class is OpClass.BRANCH:
+                assert op in BRANCH_SEMANTICS
+
+    def test_immediate_ops_are_alu(self):
+        for op in IMMEDIATE_OPS:
+            assert op.op_class is OpClass.ALU
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Op.ADD, 2, 3, 5),
+            (Op.SUB, 2, 3, -1),
+            (Op.AND, 0b1100, 0b1010, 0b1000),
+            (Op.OR, 0b1100, 0b1010, 0b1110),
+            (Op.XOR, 0b1100, 0b1010, 0b0110),
+            (Op.SHL, 1, 4, 16),
+            (Op.SHR, 16, 4, 1),
+            (Op.SLT, -1, 0, 1),
+            (Op.SLT, 1, 0, 0),
+            (Op.MUL, 7, 6, 42),
+            (Op.LI, 999, 5, 5),
+            (Op.MOV, 13, 999, 13),
+        ],
+    )
+    def test_basic_results(self, op, a, b, expected):
+        assert ALU_SEMANTICS[op](a, b) == expected
+
+    def test_add_wraps_to_64_bits(self):
+        top = 2**63 - 1
+        assert ALU_SEMANTICS[Op.ADD](top, 1) == -(2**63)
+
+    def test_mul_wraps_to_64_bits(self):
+        result = ALU_SEMANTICS[Op.MUL](2**40, 2**40)
+        assert -(2**63) <= result < 2**63
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Op.BEQ, 1, 1, True),
+            (Op.BEQ, 1, 2, False),
+            (Op.BNE, 1, 2, True),
+            (Op.BLT, -5, 0, True),
+            (Op.BLT, 0, 0, False),
+            (Op.BGE, 0, 0, True),
+            (Op.BGE, -1, 0, False),
+        ],
+    )
+    def test_branch_outcomes(self, op, a, b, expected):
+        assert BRANCH_SEMANTICS[op](a, b) is expected
+
+
+class TestSemanticsProperties:
+    @given(a=i64, b=i64)
+    def test_results_stay_in_64_bit_range(self, a, b):
+        for op, fn in ALU_SEMANTICS.items():
+            result = fn(a, b)
+            assert -(2**63) <= result < 2**63, op
+
+    @given(a=i64, b=i64)
+    def test_add_sub_invert(self, a, b):
+        total = ALU_SEMANTICS[Op.ADD](a, b)
+        assert ALU_SEMANTICS[Op.SUB](total, b) == a
+
+    @given(a=i64, b=i64)
+    def test_xor_self_inverse(self, a, b):
+        x = ALU_SEMANTICS[Op.XOR](a, b)
+        assert ALU_SEMANTICS[Op.XOR](x, b) == a
+
+    @given(a=i64, b=i64)
+    def test_branch_trichotomy(self, a, b):
+        blt = BRANCH_SEMANTICS[Op.BLT](a, b)
+        bge = BRANCH_SEMANTICS[Op.BGE](a, b)
+        assert blt != bge

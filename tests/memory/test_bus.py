@@ -1,0 +1,33 @@
+"""Tests for bus occupancy modeling."""
+
+from repro.memory.bus import Bus
+
+
+def test_transfer_cycles_for_line_over_16b_bus():
+    bus = Bus("mem", width_bytes=16, divisor=4)
+    # 64B line = 4 beats at 1/4 core clock = 16 core cycles.
+    assert bus.transfer_cycles(64) == 16
+
+
+def test_back_to_back_transfers_serialize():
+    bus = Bus("mem", width_bytes=16, divisor=4)
+    first = bus.acquire(0, 64)
+    second = bus.acquire(0, 64)
+    assert first == 16
+    assert second == 32
+    assert bus.stats.queue_delay == 16
+
+
+def test_idle_bus_starts_immediately():
+    bus = Bus("l2", width_bytes=16, divisor=1)
+    done = bus.acquire(100, 64)
+    assert done == 104
+    assert bus.stats.queue_delay == 0
+
+
+def test_reset_clears_state():
+    bus = Bus("mem", width_bytes=16, divisor=4)
+    bus.acquire(0, 64)
+    bus.reset()
+    assert bus.acquire(0, 64) == 16
+    assert bus.stats.transfers == 1

@@ -1,0 +1,119 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+from repro.memory.cache import Cache
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return Cache("t", CacheConfig(line * assoc * sets, assoc, line, 1))
+
+
+def test_cold_miss_then_hit_after_fill():
+    c = small_cache()
+    assert not c.access(0)
+    c.fill(0)
+    assert c.access(0)
+
+
+def test_same_line_different_offsets_hit():
+    c = small_cache()
+    c.fill(0)
+    assert c.access(8) and c.access(63)
+
+
+def test_lru_evicts_least_recent():
+    c = small_cache(assoc=2, sets=1)
+    c.fill(0)      # line A
+    c.fill(64)     # line B
+    c.access(0)    # A becomes MRU
+    c.fill(128)    # evicts B
+    assert c.access(0)
+    assert not c.access(64)
+
+
+def test_dirty_eviction_returns_victim_line():
+    c = small_cache(assoc=1, sets=1)
+    c.fill(0, dirty=True)
+    victim = c.fill(64)
+    assert victim == 0
+    assert c.stats.writebacks == 1
+
+
+def test_clean_eviction_returns_none():
+    c = small_cache(assoc=1, sets=1)
+    c.fill(0, dirty=False)
+    assert c.fill(64) is None
+
+
+def test_write_hit_marks_dirty():
+    c = small_cache(assoc=1, sets=1)
+    c.fill(0)
+    c.access(0, is_write=True)
+    assert c.fill(64) == 0  # dirty writeback
+
+
+def test_probe_has_no_lru_side_effect():
+    c = small_cache(assoc=2, sets=1)
+    c.fill(0)
+    c.fill(64)
+    assert c.probe(0)
+    c.fill(128)  # without the probe promoting line 0, it is still LRU
+    assert not c.probe(0)
+
+
+def test_stats_accumulate():
+    c = small_cache()
+    c.access(0)
+    c.fill(0)
+    c.access(0)
+    assert c.stats.accesses == 2
+    assert c.stats.hits == 1
+    assert c.stats.misses == 1
+    assert c.stats.miss_rate == pytest.approx(0.5)
+
+
+def test_invalidate_all_empties_cache():
+    c = small_cache()
+    c.fill(0)
+    c.invalidate_all()
+    assert not c.probe(0)
+    assert c.resident_lines == 0
+
+
+def test_line_of_alignment():
+    c = small_cache()
+    assert c.line_of(130) == 128
+    assert c.line_of(64) == 64
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        CacheConfig(1000, 2, 64, 1)  # not divisible into power-of-two sets
+    with pytest.raises(ConfigError):
+        CacheConfig(1024, 0, 64, 1)
+
+
+@settings(max_examples=50)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                      max_size=200))
+def test_capacity_never_exceeded(addrs):
+    c = small_cache(assoc=2, sets=4)
+    for a in addrs:
+        if not c.access(a):
+            c.fill(a)
+    assert c.resident_lines <= 8
+
+
+@settings(max_examples=50)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                      max_size=100))
+def test_fill_then_immediate_access_always_hits(addrs):
+    c = small_cache()
+    for a in addrs:
+        c.fill(a)
+        assert c.access(a)

@@ -1,0 +1,38 @@
+"""Tests for the MSHR file."""
+
+from repro.memory.mshr import MSHRFile
+
+
+def test_allocate_and_lookup():
+    m = MSHRFile(4)
+    assert m.allocate(0x100, fill_time=50, now=0)
+    assert m.lookup(0x100, now=10) == 50
+
+
+def test_entries_expire_at_fill_time():
+    m = MSHRFile(4)
+    m.allocate(0x100, fill_time=50, now=0)
+    assert m.lookup(0x100, now=50) is None
+    assert m.occupancy(now=50) == 0
+
+
+def test_full_file_rejects_new_lines():
+    m = MSHRFile(2)
+    assert m.allocate(0, 100, now=0)
+    assert m.allocate(64, 100, now=0)
+    assert not m.allocate(128, 100, now=0)
+    assert m.stats.full_stalls == 1
+
+
+def test_same_line_merges_instead_of_allocating():
+    m = MSHRFile(1)
+    assert m.allocate(0, 100, now=0)
+    assert m.allocate(0, 120, now=5)  # merge, not a new entry
+    assert m.stats.merges == 1
+    assert m.occupancy(now=5) == 1
+
+
+def test_capacity_frees_after_expiry():
+    m = MSHRFile(1)
+    m.allocate(0, 10, now=0)
+    assert m.allocate(64, 30, now=10)

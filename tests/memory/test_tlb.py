@@ -1,0 +1,29 @@
+"""Tests for the TLB model."""
+
+from repro.memory.tlb import TLB
+
+
+def test_first_touch_misses_then_hits():
+    tlb = TLB("d", entries=4, page_bytes=8192, miss_latency=30)
+    assert tlb.access(0) == 30
+    assert tlb.access(100) == 0  # same page
+    assert tlb.access(8192) == 30  # next page
+
+
+def test_lru_replacement_over_capacity():
+    tlb = TLB("d", entries=2, page_bytes=8192, miss_latency=30)
+    tlb.access(0)
+    tlb.access(8192)
+    tlb.access(0)          # page 0 MRU
+    tlb.access(2 * 8192)   # evicts page 1
+    assert tlb.access(0) == 0
+    assert tlb.access(8192) == 30
+
+
+def test_stats_track_miss_rate():
+    tlb = TLB("d", entries=8, page_bytes=8192, miss_latency=30)
+    tlb.access(0)
+    tlb.access(0)
+    assert tlb.stats.accesses == 2
+    assert tlb.stats.misses == 1
+    assert tlb.stats.miss_rate == 0.5

@@ -1,0 +1,88 @@
+"""Tests for the common-trigger merging post-pass."""
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import Op
+from repro.pthsel.merging import merge_pthreads, try_merge
+from repro.pthsel.pthread import StaticPThread
+
+
+def _addi(pc, rd, rs1, imm):
+    return StaticInst(pc, Op.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+
+def _load(pc, rd, rs1):
+    return StaticInst(pc, Op.LD, rd=rd, rs1=rs1, imm=0)
+
+
+def _pthread(pid, trigger, body, targets, predicted=None):
+    return StaticPThread(
+        pthread_id=pid,
+        trigger_pc=trigger,
+        body=tuple(body),
+        target_pcs=tuple(targets),
+        predicted=predicted or {},
+    )
+
+
+def test_fork_merge_shares_prefix():
+    """The Figure 1e case: same induction prefix, two field computations
+    writing the same register but reading only the prefix."""
+    prefix = [_addi(2, 1, 1, 16)]
+    side_a = [_addi(4, 5, 1, 8), _load(9, 6, 5)]
+    side_b = [_addi(6, 5, 1, 16), _load(9, 6, 5)]
+    a = _pthread(0, 2, prefix + side_a, [9], {"ladv_agg": 10.0})
+    b = _pthread(1, 2, prefix + side_b, [9], {"ladv_agg": 7.0})
+    merged = try_merge(a, b, merged_id=99)
+    assert merged is not None
+    assert merged.size == 1 + 2 + 2  # prefix once, both suffixes
+    assert merged.target_pcs == (9,)
+    assert merged.predicted["ladv_agg"] == 17.0
+
+
+def test_conflicting_suffixes_rejected():
+    """Second suffix reading a register the first wrote must not merge."""
+    prefix = [_addi(2, 1, 1, 16)]
+    side_a = [_addi(4, 5, 1, 8)]           # writes r5
+    side_b = [_load(9, 6, 5)]              # reads r5 expecting the prefix
+    a = _pthread(0, 2, prefix + side_a, [4])
+    b = _pthread(1, 2, prefix + side_b, [9])
+    assert try_merge(a, b, 99) is None
+
+
+def test_different_triggers_never_merge():
+    a = _pthread(0, 2, [_load(9, 6, 5)], [9])
+    b = _pthread(1, 3, [_load(9, 6, 5)], [9])
+    assert try_merge(a, b, 99) is None
+
+
+def test_suffix_rewriting_its_own_read_is_legal():
+    """A suffix may reuse a register the other suffix wrote if it rewrites
+    it before reading."""
+    prefix = [_addi(2, 1, 1, 16)]
+    side_a = [_addi(4, 5, 1, 8), _load(9, 6, 5)]
+    side_b = [_addi(5, 5, 1, 24), _load(9, 7, 5)]  # rewrites r5 first
+    a = _pthread(0, 2, prefix + side_a, [9])
+    b = _pthread(1, 2, prefix + side_b, [9])
+    merged = try_merge(a, b, 99)
+    assert merged is not None
+
+
+def test_merge_pthreads_groups_by_trigger():
+    prefix = [_addi(2, 1, 1, 16)]
+    a = _pthread(0, 2, prefix + [_addi(4, 5, 1, 8), _load(9, 6, 5)], [9])
+    b = _pthread(1, 2, prefix + [_addi(6, 5, 1, 16), _load(9, 6, 5)], [9])
+    c = _pthread(2, 7, [_load(11, 3, 2)], [11])
+    out = merge_pthreads([a, b, c])
+    assert len(out) == 2
+    triggers = sorted(p.trigger_pc for p in out)
+    assert triggers == [2, 7]
+
+
+def test_merge_dc_trig_not_added():
+    prefix = [_addi(2, 1, 1, 16)]
+    a = _pthread(0, 2, prefix + [_addi(4, 5, 1, 8), _load(9, 6, 5)], [9],
+                 {"dc_trig": 100.0})
+    b = _pthread(1, 2, prefix + [_addi(6, 5, 1, 16), _load(9, 6, 5)], [9],
+                 {"dc_trig": 100.0})
+    merged = try_merge(a, b, 99)
+    assert merged.predicted["dc_trig"] == 100.0

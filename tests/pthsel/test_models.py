@@ -1,0 +1,206 @@
+"""Unit tests for the PTHSEL latency/energy/composite equations."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import EnergyConfig, MachineConfig
+from repro.critpath.classify import LoadClassification
+from repro.critpath.loadcost import FlatLoadCost, LoadCostFunction
+from repro.energy.wattch import EnergyModel
+from repro.errors import ConfigError
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import Op
+from repro.pthsel.composite import CompositeParams, cadv_agg
+from repro.pthsel.energy_model import EnergyParams, PthselEnergyModel
+from repro.pthsel.latency_model import LatencyModel, LatencyParams
+
+
+def _alu(pc, rd=1, rs1=1):
+    return StaticInst(pc, Op.ADDI, rd=rd, rs1=rs1, imm=1)
+
+
+def _load(pc, rd=2, rs1=1):
+    return StaticInst(pc, Op.LD, rd=rd, rs1=rs1, imm=0)
+
+
+@pytest.fixture
+def latency_model():
+    return LatencyModel(
+        LatencyParams(bw_seq_proc=6.0, memory_latency=200.0, bw_seq_mt=0.5),
+        MachineConfig(),
+        LoadClassification(),
+    )
+
+
+@pytest.fixture
+def energy_model():
+    constants = EnergyModel().pthsel_constants()
+    return PthselEnergyModel(
+        EnergyParams.from_constants(constants), 6.0, LoadClassification()
+    )
+
+
+class TestLatencyModel:
+    def test_loh_equation_l4(self, latency_model):
+        # LOH = (SIZE/BW) * (BWmt/BW) = (12/6)*(0.5/6)
+        assert latency_model.loh(12) == pytest.approx(2 * 0.5 / 6)
+
+    def test_loh_discounted_by_main_utilization(self):
+        busy = LatencyModel(
+            LatencyParams(6.0, 200.0, 3.0), MachineConfig(),
+            LoadClassification(),
+        )
+        idle = LatencyModel(
+            LatencyParams(6.0, 200.0, 0.1), MachineConfig(),
+            LoadClassification(),
+        )
+        assert busy.loh(12) > idle.loh(12)
+
+    def test_lred_grows_with_distance(self, latency_model):
+        body = [_alu(0), _load(1)]
+        near = latency_model.lred(body, target_pc=1, avg_distance=10)
+        far = latency_model.lred(body, target_pc=1, avg_distance=100)
+        assert far > near
+
+    def test_lred_never_negative(self, latency_model):
+        body = [_alu(0)] * 30 + [_load(1)]
+        assert latency_model.lred(body, 1, avg_distance=1) == 0.0
+
+    def test_load_trigger_delays_pthread(self, latency_model):
+        cls = LoadClassification()
+        cls.service_counts[9] = [0, 0, 100]  # trigger always waits on memory
+        model = LatencyModel(
+            LatencyParams(6.0, 200.0, 0.5), MachineConfig(), cls
+        )
+        body = [_load(1)]
+        trigger_load = _load(9)
+        trigger_alu = _alu(9)
+        with_load = model.lred(body, 1, 80, trigger=trigger_load)
+        with_alu = model.lred(body, 1, 80, trigger=trigger_alu)
+        assert with_load < with_alu
+
+    def test_ladv_agg_is_lred_minus_loh(self, latency_model):
+        body = [_alu(0), _load(1)]
+        m = latency_model.ladv_agg(
+            body, 1, avg_distance=60, dc_trig=100, dc_ptcm=50,
+            cost_function=FlatLoadCost(),
+        )
+        assert m["ladv_agg"] == pytest.approx(
+            m["lred_agg"] - m["loh_agg"]
+        )
+        assert m["lred_agg"] == pytest.approx(50 * m["gain"])
+        assert m["loh_agg"] == pytest.approx(100 * m["loh"])
+
+    def test_flat_gain_caps_at_memory_latency(self, latency_model):
+        body = [_load(1)]
+        m = latency_model.ladv_agg(
+            body, 1, avg_distance=100_000, dc_trig=1, dc_ptcm=1,
+            cost_function=FlatLoadCost(),
+        )
+        assert m["gain"] == 200.0
+
+    def test_criticality_gain_uses_cost_function(self, latency_model):
+        fn = LoadCostFunction(pc=1, miss_latency=200.0,
+                              samples=(5.0, 10.0, 15.0, 20.0))
+        body = [_load(1)]
+        m = latency_model.ladv_agg(
+            body, 1, avg_distance=100_000, dc_trig=1, dc_ptcm=1,
+            cost_function=fn,
+        )
+        assert m["gain"] == 20.0  # the function's saturation, not 200
+
+
+class TestEnergyModel:
+    def test_fetch_energy_uses_block_ceiling(self, energy_model):
+        one_block = energy_model.fetch_energy(6)
+        two_blocks = energy_model.fetch_energy(7)
+        assert two_blocks == pytest.approx(2 * one_block)
+
+    def test_execute_energy_separates_loads(self, energy_model):
+        alu_body = [_alu(i) for i in range(4)]
+        load_body = [_alu(0), _alu(1), _alu(2), _load(3)]
+        assert energy_model.execute_energy(load_body) > 0
+        # A load costs more than an ALU op (e_xload > e_xalu).
+        assert (
+            energy_model.execute_energy(load_body)
+            > energy_model.execute_energy(alu_body)
+        )
+
+    def test_l2_energy_proportional_to_miss_rate(self):
+        constants = EnergyModel().pthsel_constants()
+        cls = LoadClassification()
+        cls.load_counts[3] = 100
+        cls.l1_miss_counts[3] = 50
+        model = PthselEnergyModel(
+            EnergyParams.from_constants(constants), 6.0, cls
+        )
+        body = [_load(3)]
+        assert model.l2_energy(body) == pytest.approx(
+            0.5 * model.params.e_l2
+        )
+
+    def test_eadv_agg_equation_e1(self, energy_model):
+        body = [_alu(0), _load(1)]
+        m = energy_model.eadv_agg(body, ladv_agg=1000.0, dc_trig=10)
+        assert m["eadv_agg"] == pytest.approx(
+            m["ered_agg"] - m["eoh_agg"]
+        )
+        assert m["ered_agg"] == pytest.approx(
+            1000.0 * energy_model.params.e_idle
+        )
+
+    def test_zero_idle_factor_makes_all_eadv_negative(self):
+        constants = EnergyModel(
+            EnergyConfig().with_idle_factor(0.0)
+        ).pthsel_constants()
+        model = PthselEnergyModel(
+            EnergyParams.from_constants(constants), 6.0, LoadClassification()
+        )
+        m = model.eadv_agg([_alu(0)], ladv_agg=1e9, dc_trig=1)
+        assert m["eadv_agg"] < 0
+
+
+class TestComposite:
+    def test_w1_reduces_to_latency(self):
+        p = CompositeParams(l0=1000.0, e0=1.0, w=1.0)
+        assert cadv_agg(p, 100.0, -5.0) == pytest.approx(100.0)
+
+    def test_w0_reduces_to_energy(self):
+        p = CompositeParams(l0=1000.0, e0=1.0, w=0.0)
+        assert cadv_agg(p, 100.0, 0.25) == pytest.approx(0.25)
+
+    def test_ed_weight_balances(self):
+        p = CompositeParams(l0=1000.0, e0=1.0, w=0.5)
+        latency_heavy = cadv_agg(p, 100.0, -0.02)
+        energy_heavy = cadv_agg(p, -20.0, 0.1)
+        assert latency_heavy > 0
+        assert isinstance(energy_heavy, float)
+
+    def test_clamps_overlarge_advantages(self):
+        p = CompositeParams(l0=100.0, e0=1.0, w=0.5)
+        value = cadv_agg(p, 1e9, 1e9)
+        assert math.isfinite(value)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            CompositeParams(l0=0.0, e0=1.0, w=0.5)
+        with pytest.raises(ConfigError):
+            CompositeParams(l0=1.0, e0=1.0, w=1.5)
+
+    @given(
+        ladv=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        eadv=st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False),
+        w=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_advantage_signs_agree_with_cadv(self, ladv, eadv, w):
+        """When both advantages clearly agree in sign, so does CADVagg
+        (magnitudes large enough to avoid float cancellation against the
+        baselines)."""
+        p = CompositeParams(l0=1e6, e0=1.0, w=w)
+        if ladv > 1e-3 and eadv > 1e-9:
+            assert cadv_agg(p, ladv, eadv) > 0
+        if ladv < -1e-3 and eadv < -1e-9:
+            assert cadv_agg(p, ladv, eadv) < 0

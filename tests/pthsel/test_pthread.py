@@ -1,0 +1,55 @@
+"""Tests for p-thread bodies and the induction-merge optimization."""
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import Op
+from repro.pthsel.pthread import StaticPThread, optimize_body
+
+
+def _addi(pc, rd, rs1, imm):
+    return StaticInst(pc, Op.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+
+def _load(pc, rd, rs1):
+    return StaticInst(pc, Op.LD, rd=rd, rs1=rs1, imm=0)
+
+
+def test_consecutive_self_addis_merge():
+    body = [_addi(5, 1, 1, 8), _addi(5, 1, 1, 8), _addi(5, 1, 1, 8),
+            _load(7, 2, 1)]
+    out = optimize_body(body)
+    assert len(out) == 2
+    assert out[0].op is Op.ADDI and out[0].imm == 24  # i += 3*8
+    assert out[1].op is Op.LD
+
+
+def test_non_adjacent_addis_not_merged():
+    body = [_addi(5, 1, 1, 8), _load(7, 2, 1), _addi(5, 1, 1, 8)]
+    out = optimize_body(body)
+    assert len(out) == 3
+
+
+def test_different_registers_not_merged():
+    body = [_addi(5, 1, 1, 8), _addi(6, 2, 2, 8)]
+    assert len(optimize_body(body)) == 2
+
+
+def test_non_self_increment_not_merged():
+    body = [_addi(5, 1, 2, 8), _addi(5, 1, 2, 8)]  # rd != rs1
+    assert len(optimize_body(body)) == 2
+
+
+def test_empty_body():
+    assert optimize_body([]) == []
+
+
+def test_static_pthread_counts():
+    p = StaticPThread(
+        pthread_id=0,
+        trigger_pc=3,
+        body=(_addi(5, 1, 1, 16), _load(7, 2, 1)),
+        target_pcs=(7,),
+    )
+    assert p.size == 2
+    assert p.n_loads == 1
+    assert p.n_alu == 1
+    assert "trigger=pc3" in p.describe()

@@ -1,0 +1,100 @@
+"""Tests for slice-tree construction and annotation."""
+
+import pytest
+
+from repro.critpath.classify import classify_trace
+from repro.frontend import interpret
+from repro.slicer import build_slice_tree, identify_problem_loads
+from repro.slicer.slicetree import SliceNode
+from repro.workloads import get_program
+
+
+@pytest.fixture(scope="module")
+def gap_tree():
+    trace = interpret(get_program("gap"), max_instructions=2_000_000)
+    cls = classify_trace(trace)
+    pcs = identify_problem_loads(cls)
+    prog = trace.program
+    bag_pc = next(i.pc for i in prog if i.annotation == "problem:gap-bag")
+    assert bag_pc in pcs
+    return trace, cls, build_slice_tree(trace, cls, bag_pc)
+
+
+def test_root_is_problem_load(gap_tree):
+    _, _, tree = gap_tree
+    assert tree.root.pc == tree.root_pc
+    assert tree.root.depth == 0
+
+
+def test_instance_counts(gap_tree):
+    trace, cls, tree = gap_tree
+    assert tree.instances == len(trace.occurrences(tree.root_pc))
+    assert 0 < tree.instances_missed <= tree.instances
+
+
+def test_counts_decrease_with_depth(gap_tree):
+    _, _, tree = gap_tree
+    for node in tree.candidates():
+        if node.parent is not None and node.parent.depth > 0:
+            assert node.count_total <= node.parent.count_total
+            assert node.count_miss <= node.parent.count_miss
+
+
+def test_distance_grows_with_depth(gap_tree):
+    _, _, tree = gap_tree
+    chain = []
+    node = tree.root
+    while node.children:
+        node = next(iter(node.children.values()))
+        chain.append(node)
+    distances = [n.avg_distance for n in chain if n.count_total > 10]
+    assert distances == sorted(distances)
+
+
+def test_dc_trig_is_whole_trace_occurrences(gap_tree):
+    trace, _, tree = gap_tree
+    for node in tree.candidates():
+        assert tree.dc_trig(node) == len(trace.occurrences(node.pc))
+
+
+def test_body_pcs_end_at_root(gap_tree):
+    _, _, tree = gap_tree
+    for node in tree.candidates():
+        body = node.body_pcs()
+        assert body[-1] == tree.root_pc
+        assert len(body) == node.depth
+
+
+def test_path_to_root_connects(gap_tree):
+    _, _, tree = gap_tree
+    deepest = max(tree.candidates(), key=lambda n: n.depth)
+    path = deepest.path_to_root()
+    assert path[0] is deepest
+    assert path[-1] is tree.root
+    for child, parent in zip(path, path[1:]):
+        assert child.parent is parent
+
+
+def test_fork_on_control_divergence():
+    """bzip2's data branch does not affect the gather's slice, but
+    vpr.place's two grid loads produce two distinct trees; within one
+    tree, instances with identical slices must form a chain (no fork)."""
+    trace = interpret(get_program("gap"), max_instructions=500_000)
+    cls = classify_trace(trace)
+    prog = trace.program
+    bag_pc = next(i.pc for i in prog if i.annotation == "problem:gap-bag")
+    tree = build_slice_tree(trace, cls, bag_pc)
+    # gap's slice is the same every iteration: expect a pure chain.
+    node = tree.root
+    while node.children:
+        assert len(node.children) == 1
+        node = next(iter(node.children.values()))
+
+
+def test_problem_load_identification_threshold():
+    trace = interpret(get_program("gcc"), max_instructions=2_000_000)
+    cls = classify_trace(trace)
+    pcs = identify_problem_loads(cls)
+    total = cls.total_l2_misses
+    for pc in pcs:
+        assert cls.miss_counts[pc] / total >= 0.02

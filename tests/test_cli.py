@@ -1,0 +1,32 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_benchmarks(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "vpr.route" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "gap", "--target", "E"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup_pct" in out
+
+
+def test_run_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["run", "eon"])
+
+
+def test_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        main(["run", "gap", "--target", "X"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,120 @@
+"""Validation tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    EnergyConfig,
+    MachineConfig,
+    SelectionConfig,
+    SimulationConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_paper_geometries_valid(self):
+        CacheConfig(32 * 1024, 2, 64, 1)
+        CacheConfig(16 * 1024, 2, 64, 2)
+        CacheConfig(256 * 1024, 4, 64, 12)
+
+    def test_n_sets(self):
+        assert CacheConfig(256 * 1024, 4, 64, 12).n_sets == 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=0, assoc=2, line_bytes=64, hit_latency=1),
+            dict(size_bytes=1000, assoc=2, line_bytes=64, hit_latency=1),
+            dict(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=0),
+            dict(size_bytes=64 * 3 * 2, assoc=2, line_bytes=64, hit_latency=1),
+        ],
+    )
+    def test_bad_geometries_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheConfig(**kwargs)
+
+
+class TestMachineConfig:
+    def test_paper_defaults(self):
+        m = MachineConfig()
+        assert m.width == 6
+        assert m.rob_entries == 128
+        assert m.rs_entries == 80
+        assert m.physical_registers == 384
+        assert m.thread_contexts == 8
+        assert m.memory_latency == 200
+        assert m.mshr_entries == 16
+
+    def test_frontend_depth_from_15_stages(self):
+        assert MachineConfig().frontend_depth == 10
+
+    def test_scaled_l2_copies(self):
+        m = MachineConfig().scaled_l2(128 * 1024, 10)
+        assert m.l2.size_bytes == 128 * 1024
+        assert m.l2.hit_latency == 10
+        assert m.dcache.size_bytes == MachineConfig().dcache.size_bytes
+
+    def test_with_memory_latency(self):
+        assert MachineConfig().with_memory_latency(300).memory_latency == 300
+
+    def test_hashable_for_baseline_cache(self):
+        assert hash(MachineConfig()) == hash(MachineConfig())
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(width=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(memory_latency=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(rob_entries=2)
+
+
+class TestEnergyConfig:
+    def test_paper_shares_sum_to_one(self):
+        assert sum(EnergyConfig().structure_shares.values()) == pytest.approx(
+            1.0
+        )
+
+    def test_idle_factor_range(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(idle_factor=1.5)
+        with pytest.raises(ConfigError):
+            EnergyConfig(idle_factor=-0.1)
+
+    def test_with_idle_factor(self):
+        cfg = EnergyConfig().with_idle_factor(0.1)
+        assert cfg.e_idle_per_cycle == 0.1
+
+    def test_joules_conversion(self):
+        cfg = EnergyConfig()
+        assert cfg.joules(2.0) == pytest.approx(2.0 * cfg.e_max_per_cycle)
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(structure_shares={"bpred": 0.5})
+
+
+class TestSelectionConfig:
+    def test_paper_defaults(self):
+        s = SelectionConfig()
+        assert s.slicing_window == 2048
+        assert s.max_pthread_insts == 64
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            SelectionConfig(slicing_window=1)
+        with pytest.raises(ConfigError):
+            SelectionConfig(composition_weight=2.0)
+        with pytest.raises(ConfigError):
+            SelectionConfig(load_cost_model="magic")
+
+
+class TestSimulationConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(max_instructions=0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(sample_fraction=0.0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(warmup_fraction=1.0)
