@@ -9,17 +9,41 @@ Commands mirror the paper's evaluation:
 - ``figure5 idle|memlat|l2``  sensitivity panels
 - ``table3``             model validation ratios
 - ``list``               available benchmarks
+
+Every evaluation command accepts the global observability flags:
+
+- ``--log-level LEVEL``  emit JSON-lines telemetry (spans, heartbeats,
+  simulator throughput) to stderr at ``debug|info|warning|error``;
+- ``--json``             print result rows as JSON lines instead of the
+  rendered text table;
+- ``--out DIR``          write machine-readable artifacts into ``DIR``:
+  ``manifest.json`` (provenance + config fingerprints + counters),
+  ``results.jsonl`` (one row per (benchmark, target)), and an
+  appendable ``run_table.csv``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
+from repro import obs
+from repro.config import (
+    EnergyConfig,
+    MachineConfig,
+    SelectionConfig,
+    SimulationConfig,
+)
 from repro.harness import figures
 from repro.harness.experiment import run_experiment
-from repro.harness.report import format_table
+from repro.harness.figures import result_row
+from repro.harness.report import (
+    format_table,
+    render_json_lines,
+    visible_columns,
+)
 from repro.pthsel.targets import Target
 from repro.workloads import benchmark_names
 
@@ -27,37 +51,116 @@ _TARGETS = {t.label: t for t in Target}
 
 
 def _parser() -> argparse.ArgumentParser:
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--log-level",
+        default="off",
+        choices=obs.LEVEL_NAMES,
+        help="emit JSON-lines telemetry to stderr at this level",
+    )
+    obs_flags.add_argument(
+        "--json",
+        action="store_true",
+        help="print result rows as JSON lines instead of text tables",
+    )
+    obs_flags.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write manifest.json/results.jsonl and append run_table.csv "
+        "under DIR",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PTHSEL/PTHSEL+E reproduction (Petric & Roth, ISCA 2005)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run one experiment")
+    run = sub.add_parser("run", parents=[obs_flags],
+                         help="run one experiment")
     run.add_argument("benchmark", choices=benchmark_names())
     run.add_argument("--target", default="L", choices=sorted(_TARGETS))
     run.add_argument("--profile-input", default="train",
                      choices=("train", "ref"))
     run.add_argument("--branch-pthreads", action="store_true",
                      help="also select branch-outcome p-threads (Section 7)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the selection description")
 
-    sub.add_parser("figure2", help="N vs O breakdowns")
-    fig3 = sub.add_parser("figure3", help="O/L/E/P retargeting study")
+    sub.add_parser("figure2", parents=[obs_flags],
+                   help="N vs O breakdowns")
+    fig3 = sub.add_parser("figure3", parents=[obs_flags],
+                          help="O/L/E/P retargeting study")
     fig3.add_argument("--benchmarks", nargs="*", default=None)
-    sub.add_parser("figure4", help="realistic profiling study")
-    fig5 = sub.add_parser("figure5", help="sensitivity panels")
+    sub.add_parser("figure4", parents=[obs_flags],
+                   help="realistic profiling study")
+    fig5 = sub.add_parser("figure5", parents=[obs_flags],
+                          help="sensitivity panels")
     fig5.add_argument("panel", choices=("idle", "memlat", "l2"))
-    sub.add_parser("table3", help="model validation ratios")
-    sub.add_parser("list", help="list benchmarks")
+    sub.add_parser("table3", parents=[obs_flags],
+                   help="model validation ratios")
+    sub.add_parser("list", parents=[obs_flags], help="list benchmarks")
     return parser
 
 
+def _default_configs() -> Dict[str, object]:
+    return {
+        "machine": MachineConfig(),
+        "energy": EnergyConfig(),
+        "selection": SelectionConfig(),
+        "simulation": SimulationConfig(),
+    }
+
+
+def _write_artifacts(
+    args: argparse.Namespace,
+    argv: Optional[List[str]],
+    rows: List[Dict[str, object]],
+    **extra: object,
+) -> None:
+    """Write manifest/results/run-table artifacts when ``--out`` was given."""
+    if not args.out:
+        return
+    writer = obs.RunWriter(
+        args.out,
+        command=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        configs=_default_configs(),
+        started=getattr(args, "_started", None),
+    )
+    for row in rows:
+        writer.add_row(row)
+    path = writer.finalize(counters=obs.counters.snapshot(), **extra)
+    print(f"wrote {len(rows)} rows to {args.out} "
+          f"(manifest: {path})", file=sys.stderr)
+
+
+def _emit_rows(args: argparse.Namespace,
+               rows: List[Dict[str, object]]) -> None:
+    """Print rows as a text table, or as JSON lines under ``--json``."""
+    if args.json:
+        print(render_json_lines(rows))
+    else:
+        print(format_table(rows, columns=visible_columns(rows) or None))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    started = time.time()
     args = _parser().parse_args(argv)
+    args._started = started
+
+    if getattr(args, "log_level", "off") != "off":
+        obs.configure(level=args.log_level)
 
     if args.command == "list":
-        for name in benchmark_names():
-            print(name)
+        rows = [{"benchmark": name} for name in benchmark_names()]
+        if args.json:
+            print(render_json_lines(rows))
+        else:
+            for name in benchmark_names():
+                print(name)
+        _write_artifacts(args, argv, rows)
         return 0
 
     if args.command == "run":
@@ -67,34 +170,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             profile_input=args.profile_input,
             include_branch_pthreads=args.branch_pthreads,
         )
-        print(result.selection.describe())
-        print()
-        print(format_table([{
-            "speedup_pct": round(result.speedup_pct, 2),
-            "energy_save_pct": round(result.energy_save_pct, 2),
-            "ed_save_pct": round(result.ed_save_pct, 2),
-            **{k: round(v, 2) for k, v in result.diagnostics().items()},
-        }]))
+        row = result_row(result)
+        if args.json:
+            print(render_json_lines([row]))
+        else:
+            if not args.quiet:
+                print(result.selection.describe())
+                print()
+            print(format_table([result.summary_row()]))
+        _write_artifacts(args, argv, [row])
         return 0
 
     if args.command == "figure2":
         data = figures.figure2()
-        print(data.render())
+        _emit_rows(args, data.rows)
+        _write_artifacts(args, argv, data.rows)
         return 0
 
     if args.command == "figure3":
         benchmarks = args.benchmarks or list(benchmark_names())
         data = figures.figure3(benchmarks=benchmarks)
-        print(data.render())
-        for metric in ("speedup_pct", "energy_save_pct", "ed_save_pct"):
-            gm = data.gmeans(metric)
-            print(f"GMean {metric}: "
-                  + "  ".join(f"{t}={v:+.1f}%" for t, v in gm.items()))
+        gmeans = {
+            metric: {t: round(v, 4) for t, v in data.gmeans(metric).items()}
+            for metric in ("speedup_pct", "energy_save_pct", "ed_save_pct")
+        }
+        if args.json:
+            print(render_json_lines(data.rows))
+            print(render_json_lines([{"event": "gmeans", **gmeans}]))
+        else:
+            print(data.render())
+            for metric, gm in gmeans.items():
+                print(f"GMean {metric}: "
+                      + "  ".join(f"{t}={v:+.1f}%" for t, v in gm.items()))
+        _write_artifacts(args, argv, data.rows, gmeans=gmeans,
+                         benchmarks=benchmarks)
         return 0
 
     if args.command == "figure4":
         data = figures.figure4()
-        print(data.render())
+        _emit_rows(args, data.rows)
+        _write_artifacts(args, argv, data.rows)
         return 0
 
     if args.command == "figure5":
@@ -103,11 +218,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "memlat": figures.figure5_memory_latency,
             "l2": figures.figure5_l2_size,
         }[args.panel]
-        print(format_table(panel()))
+        rows = panel()
+        _emit_rows(args, rows)
+        _write_artifacts(args, argv, rows, panel=args.panel)
         return 0
 
     if args.command == "table3":
-        print(format_table(figures.table3()))
+        rows = figures.table3()
+        _emit_rows(args, rows)
+        _write_artifacts(args, argv, rows)
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover

@@ -21,8 +21,18 @@ from typing import Dict
 from repro.errors import ConfigError
 
 
+class _Fingerprinted:
+    """Mixin: short stable content hash for run-manifest provenance."""
+
+    @property
+    def fingerprint(self) -> str:
+        from repro.obs.manifest import config_fingerprint
+
+        return config_fingerprint(self)
+
+
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(_Fingerprinted):
     """Geometry and timing of one cache level."""
 
     size_bytes: int
@@ -50,7 +60,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class MachineConfig:
+class MachineConfig(_Fingerprinted):
     """Microarchitectural parameters of the simulated processor."""
 
     width: int = 6
@@ -137,7 +147,7 @@ PAPER_STRUCTURE_SHARES: Dict[str, float] = {
 
 
 @dataclass(frozen=True)
-class EnergyConfig:
+class EnergyConfig(_Fingerprinted):
     """Wattch-style energy model parameters.
 
     All per-access / per-cycle constants are expressed as fractions of the
@@ -213,7 +223,7 @@ class LoadCostModel:
 
 
 @dataclass(frozen=True)
-class SelectionConfig:
+class SelectionConfig(_Fingerprinted):
     """PTHSEL / PTHSEL+E algorithm parameters (Section 3.1 defaults)."""
 
     slicing_window: int = 2048
@@ -253,7 +263,7 @@ class SelectionConfig:
 
 
 @dataclass(frozen=True)
-class SimulationConfig:
+class SimulationConfig(_Fingerprinted):
     """How much of a workload to run and how."""
 
     max_instructions: int = 400_000

@@ -20,9 +20,12 @@ registers only (no ROB/LSQ), and never retire.
 from __future__ import annotations
 
 import heapq
+import os
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.branch.btb import BTB
 from repro.branch.predictors import HybridPredictor
 from repro.config import MachineConfig
@@ -35,6 +38,17 @@ from repro.memory.hierarchy import MemoryHierarchy
 
 #: Bytes per instruction when mapping PCs into the I-cache address space.
 INST_BYTES = 4
+
+#: Simulated-cycle interval between progress heartbeat events (emitted
+#: only when debug-level telemetry is enabled, so the hot loop pays one
+#: boolean test otherwise).
+HEARTBEAT_CYCLES = 250_000
+
+_SIM_RUNS = obs.counters.counter("cpu.pipeline.simulations")
+_SIM_CYCLES = obs.counters.counter("cpu.pipeline.cycles_total")
+_SIM_RETIRED = obs.counters.counter("cpu.pipeline.retired_total")
+_SIM_RETIRE_RATE = obs.counters.gauge("cpu.pipeline.retired_per_sec")
+_SIM_CYCLE_RATE = obs.counters.gauge("cpu.pipeline.cycles_per_sec")
 
 _NOT_DONE = -1
 
@@ -613,20 +627,37 @@ class Pipeline:
 
         safety_limit = 400 * n_main + 10_000_000
         _debug_iter = 0
-        import os as _os
-        _debug = bool(_os.environ.get("REPRO_DEBUG_PIPELINE"))
+        _debug = bool(os.environ.get("REPRO_DEBUG_PIPELINE"))
+        wall_start = time.perf_counter()
+        # Progress heartbeats: only when debug telemetry is on, so the
+        # disabled fast path costs one boolean test per iteration.
+        heartbeat = obs.is_enabled("debug")
+        heartbeat_next = HEARTBEAT_CYCLES
         while committed < n_main:
             if _debug:
                 _debug_iter += 1
                 if _debug_iter % 200_000 == 0:
                     print(
                         f"[dbg] iter={_debug_iter} now={now} committed={committed} "
-                        f"rob={len(rob)} rs={rs_used} ready={len(ready)} "
+                        f"rob={len(rob)} rs={rs_used_main + rs_used_pth} "
+                        f"ready={len(ready)} "
                         f"deferred={len(deferred)} pipe={len(frontend_pipe)} "
                         f"next_seq={next_seq} redirect={pending_redirect} "
                         f"phys={phys_used} freectx={free_contexts}",
                         flush=True,
                     )
+            if heartbeat and now >= heartbeat_next:
+                wall_s = time.perf_counter() - wall_start
+                obs.log_event(
+                    "sim_heartbeat",
+                    level="debug",
+                    cycles=now,
+                    committed=committed,
+                    spawns=stats.spawns_started,
+                    wall_s=round(wall_s, 3),
+                    cycles_per_sec=round(now / wall_s) if wall_s else 0,
+                )
+                heartbeat_next = now + HEARTBEAT_CYCLES
             process_completions()
             active = do_commit()
             active |= do_issue()
@@ -683,6 +714,26 @@ class Pipeline:
         stats.cycles = now
         stats.committed = committed
         act.cycles = now
+
+        wall_s = time.perf_counter() - wall_start
+        _SIM_RUNS.add()
+        _SIM_CYCLES.add(now)
+        _SIM_RETIRED.add(committed)
+        if wall_s > 0:
+            _SIM_RETIRE_RATE.set(round(committed / wall_s))
+            _SIM_CYCLE_RATE.set(round(now / wall_s))
+        if obs.is_enabled("info"):
+            obs.log_event(
+                "sim_done",
+                cycles=now,
+                committed=committed,
+                ipc=round(stats.ipc, 4),
+                spawns=stats.spawns_started,
+                pinsts=stats.pinsts_executed,
+                wall_s=round(wall_s, 6),
+                cycles_per_sec=round(now / wall_s) if wall_s else 0,
+                retired_per_sec=round(committed / wall_s) if wall_s else 0,
+            )
         return stats
 
 

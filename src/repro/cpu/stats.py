@@ -121,18 +121,29 @@ class SimStats:
         return min(1.0, self.useful_prefetches / self.spawns_started)
 
     def summary(self) -> Dict[str, float]:
+        """One flat row per timing run.
+
+        Keys are aligned with ``ExperimentResult.summary_row()`` (the
+        ``*_pct`` diagnostics) so JSONL result rows built from either
+        source stay consistent, and every ratio is guarded against
+        zero-commit / zero-spawn runs.
+        """
+        committed = self.committed
         return {
             "cycles": self.cycles,
-            "committed": self.committed,
+            "committed": committed,
             "ipc": round(self.ipc, 4),
             "branch_mpki": round(
-                1000.0 * self.mispredictions / self.committed, 2
+                1000.0 * self.mispredictions / committed, 2
             )
-            if self.committed
+            if committed
             else 0.0,
+            "branch_hints_used": self.branch_hints_used,
             "demand_l2_misses": self.demand_l2_misses,
+            "covered_misses_full": self.covered_misses_full,
+            "covered_misses_partial": self.covered_misses_partial,
             "spawns": self.spawns_started,
             "pinsts": self.pinsts_executed,
-            "pinst_increase": round(self.pinst_increase, 4),
-            "usefulness": round(self.usefulness, 4),
+            "pinst_increase_pct": round(100.0 * self.pinst_increase, 2),
+            "usefulness_pct": round(100.0 * self.usefulness, 2),
         }

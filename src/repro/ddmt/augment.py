@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.cpu.pthreads import PInstClass, PInstSpec, PThreadProgram, SpawnSpec
 from repro.frontend.interpreter import InterpreterState, interpret

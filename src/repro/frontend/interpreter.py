@@ -9,11 +9,11 @@ architectural state at trigger points to expand p-thread spawns.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExecutionError
 from repro.frontend.trace import NO_PRODUCER, DynInst, Trace
-from repro.isa.instruction import Program, StaticInst
+from repro.isa.instruction import Program
 from repro.isa.opcodes import IMMEDIATE_OPS, Op, OpClass
 from repro.isa.registers import NUM_ARCH_REGS, ZERO
 

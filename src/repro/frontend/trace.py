@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from repro.isa.instruction import Program
 from repro.isa.opcodes import Op, OpClass

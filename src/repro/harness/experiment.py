@@ -9,9 +9,11 @@ diagnostics of Figure 3.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.config import (
     EnergyConfig,
     MachineConfig,
@@ -60,6 +62,9 @@ class ExperimentResult:
     optimized: RunMeasurement
     selection: SelectionResult
     metrics: Dict[str, float]
+    #: Wall-clock seconds per harness phase (profile/select/augment/...),
+    #: collected by :func:`run_experiment` via ``obs.span``.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup_pct(self) -> float:
@@ -105,11 +110,21 @@ class ExperimentResult:
 
 # --------------------------------------------------------------------- #
 # Baseline caching: sensitivity sweeps re-simulate the same baseline for
-# several targets; MachineConfig is frozen/hashable, so key on it.
+# several targets; MachineConfig is frozen/hashable, so key on it.  The
+# cache is a true LRU: hits move to the recently-used end, eviction pops
+# the least-recently-used entry.
 # --------------------------------------------------------------------- #
 
-_BASELINE_CACHE: Dict[Tuple, Tuple[Trace, SimStats]] = {}
+_BASELINE_CACHE: "OrderedDict[Tuple, Tuple[Trace, SimStats]]" = OrderedDict()
 _BASELINE_CACHE_LIMIT = 24
+
+_CACHE_HITS = obs.counters.counter("harness.experiment.baseline_cache.hits")
+_CACHE_MISSES = obs.counters.counter(
+    "harness.experiment.baseline_cache.misses"
+)
+_CACHE_EVICTIONS = obs.counters.counter(
+    "harness.experiment.baseline_cache.evictions"
+)
 
 
 def _baseline_sim(
@@ -121,14 +136,32 @@ def _baseline_sim(
     key = (benchmark, input_name, machine, sim.max_instructions)
     hit = _BASELINE_CACHE.get(key)
     if hit is not None:
+        _BASELINE_CACHE.move_to_end(key)
+        _CACHE_HITS.add()
         return hit
-    program = get_program(benchmark, input_name)
-    trace = interpret(program, max_instructions=sim.max_instructions)
-    stats = simulate(trace, machine)
-    if len(_BASELINE_CACHE) >= _BASELINE_CACHE_LIMIT:
-        _BASELINE_CACHE.pop(next(iter(_BASELINE_CACHE)))
+    _CACHE_MISSES.add()
+    with obs.span("baseline_sim", benchmark=benchmark,
+                  input=input_name) as sp:
+        program = get_program(benchmark, input_name)
+        trace = interpret(program, max_instructions=sim.max_instructions)
+        stats = simulate(trace, machine)
+        sp.annotate(cycles=stats.cycles, committed=stats.committed)
+    while len(_BASELINE_CACHE) >= _BASELINE_CACHE_LIMIT:
+        _BASELINE_CACHE.popitem(last=False)
+        _CACHE_EVICTIONS.add()
     _BASELINE_CACHE[key] = (trace, stats)
     return trace, stats
+
+
+def baseline_cache_stats() -> Dict[str, int]:
+    """Current baseline-cache occupancy and hit/miss/eviction counts."""
+    return {
+        "entries": len(_BASELINE_CACHE),
+        "limit": _BASELINE_CACHE_LIMIT,
+        "hits": _CACHE_HITS.value,
+        "misses": _CACHE_MISSES.value,
+        "evictions": _CACHE_EVICTIONS.value,
+    }
 
 
 def clear_baseline_cache() -> None:
@@ -179,70 +212,99 @@ def run_experiment(
     selection = selection or SelectionConfig()
     sim = sim or SimulationConfig()
     model = EnergyModel(energy, machine)
+    phase_seconds: Dict[str, float] = {}
 
-    # Baseline measurement on the run input.
-    run_trace, run_stats = _baseline_sim(benchmark, run_input, machine, sim)
-    baseline = RunMeasurement(
-        stats=run_stats, energy=model.evaluate(run_stats.activity)
-    )
+    with obs.span("experiment", benchmark=benchmark,
+                  target=target.label) as sp_total:
+        # Baseline measurement on the run input.
+        with obs.span("baseline") as sp:
+            run_trace, run_stats = _baseline_sim(
+                benchmark, run_input, machine, sim
+            )
+            baseline = RunMeasurement(
+                stats=run_stats, energy=model.evaluate(run_stats.activity)
+            )
+        phase_seconds["baseline"] = sp.wall_s
 
-    # Profile (possibly a different input) supplies the selection inputs.
-    if profile_input == run_input:
-        profile_trace, profile_stats = run_trace, run_stats
-    else:
-        profile_trace, profile_stats = _baseline_sim(
-            benchmark, profile_input, machine, sim
+        # Profile (possibly a different input) supplies the selection inputs.
+        with obs.span("profile", input=profile_input) as sp:
+            if profile_input == run_input:
+                profile_trace, profile_stats = run_trace, run_stats
+            else:
+                profile_trace, profile_stats = _baseline_sim(
+                    benchmark, profile_input, machine, sim
+                )
+            profile_energy = model.evaluate(profile_stats.activity)
+            estimates = BaselineEstimates(
+                ipc=profile_stats.ipc,
+                l0=float(profile_stats.cycles),
+                e0=profile_energy.total_joules,
+            )
+        phase_seconds["profile"] = sp.wall_s
+
+        with obs.span("select") as sp:
+            result = select_pthreads(
+                profile_trace,
+                estimates,
+                target=target,
+                machine=machine,
+                energy=energy,
+                selection=selection,
+            )
+            if include_branch_pthreads:
+                from repro.pthsel.branches import select_branch_pthreads
+
+                branch_result = select_branch_pthreads(
+                    profile_trace,
+                    estimates,
+                    target=target,
+                    machine=machine,
+                    energy=energy,
+                    selection=selection,
+                    classification=result.classification,
+                )
+                result.pthreads = result.pthreads + branch_result.pthreads
+                for key, value in branch_result.predicted.items():
+                    result.predicted[key] = (
+                        result.predicted.get(key, 0.0) + value
+                    )
+            sp.annotate(n_pthreads=result.n_pthreads)
+        phase_seconds["select"] = sp.wall_s
+
+        # Augment the run program and measure.
+        with obs.span("augment") as sp:
+            program = get_program(benchmark, run_input)
+            augmented = expand_pthreads(
+                program,
+                result.pthreads,
+                max_instructions=sim.max_instructions,
+                reference_trace=(
+                    run_trace if run_input == profile_input else None
+                ),
+            )
+        phase_seconds["augment"] = sp.wall_s
+
+        with obs.span("simulate") as sp:
+            opt_stats = simulate(augmented.trace, machine, augmented.pthreads)
+            optimized = RunMeasurement(
+                stats=opt_stats, energy=model.evaluate(opt_stats.activity)
+            )
+            sp.annotate(cycles=opt_stats.cycles,
+                        committed=opt_stats.committed)
+        phase_seconds["simulate"] = sp.wall_s
+
+        metrics = relative_metrics(
+            base_delay=float(baseline.cycles),
+            base_energy=baseline.joules,
+            new_delay=float(optimized.cycles),
+            new_energy=optimized.joules,
         )
-    profile_energy = model.evaluate(profile_stats.activity)
-    estimates = BaselineEstimates(
-        ipc=profile_stats.ipc,
-        l0=float(profile_stats.cycles),
-        e0=profile_energy.total_joules,
-    )
-
-    result = select_pthreads(
-        profile_trace,
-        estimates,
-        target=target,
-        machine=machine,
-        energy=energy,
-        selection=selection,
-    )
-    if include_branch_pthreads:
-        from repro.pthsel.branches import select_branch_pthreads
-
-        branch_result = select_branch_pthreads(
-            profile_trace,
-            estimates,
-            target=target,
-            machine=machine,
-            energy=energy,
-            selection=selection,
-            classification=result.classification,
+        sp_total.annotate(
+            cycles=opt_stats.cycles,
+            speedup_pct=round(metrics["speedup_pct"], 2),
+            cache=baseline_cache_stats(),
         )
-        result.pthreads = result.pthreads + branch_result.pthreads
-        for key, value in branch_result.predicted.items():
-            result.predicted[key] = result.predicted.get(key, 0.0) + value
-
-    # Augment the run program and measure.
-    program = get_program(benchmark, run_input)
-    augmented = expand_pthreads(
-        program,
-        result.pthreads,
-        max_instructions=sim.max_instructions,
-        reference_trace=run_trace if run_input == profile_input else None,
-    )
-    opt_stats = simulate(augmented.trace, machine, augmented.pthreads)
-    optimized = RunMeasurement(
-        stats=opt_stats, energy=model.evaluate(opt_stats.activity)
-    )
-
-    metrics = relative_metrics(
-        base_delay=float(baseline.cycles),
-        base_energy=baseline.joules,
-        new_delay=float(optimized.cycles),
-        new_energy=optimized.joules,
-    )
+    phase_seconds["total"] = sp_total.wall_s
     return ExperimentResult(
         benchmark=benchmark,
         target=target,
@@ -250,4 +312,5 @@ def run_experiment(
         optimized=optimized,
         selection=result,
         metrics=metrics,
+        phase_seconds=phase_seconds,
     )

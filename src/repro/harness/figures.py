@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EnergyConfig, MachineConfig, SelectionConfig
 from repro.cpu.stats import BREAKDOWN_CATEGORIES
-from repro.energy.breakdown import CATEGORIES as ENERGY_CATEGORIES
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.report import format_table, geometric_mean_pct
 from repro.pthsel.targets import Target
@@ -53,13 +52,18 @@ def _energy_stack(result: ExperimentResult, run: str) -> Dict[str, float]:
     return measurement.energy.breakdown.relative_to(result.baseline.joules)
 
 
-def _row(result: ExperimentResult) -> Dict[str, object]:
+def result_row(result: ExperimentResult) -> Dict[str, object]:
     row: Dict[str, object] = {
         "benchmark": result.benchmark,
         "target": result.target.label,
         "n_pthreads": result.selection.n_pthreads,
     }
     row.update(result.summary_row())
+    # Phase wall-clock timings ride along for machine-readable artifacts;
+    # the text renderers filter the ``t_`` columns out.
+    row.update(
+        {f"t_{k}": round(v, 4) for k, v in result.phase_seconds.items()}
+    )
     return row
 
 
@@ -81,7 +85,10 @@ class FigureData:
         return {t: geometric_mean_pct(v) for t, v in by_target.items()}
 
     def render(self) -> str:
-        return format_table(self.rows)
+        if not self.rows:
+            return format_table(self.rows)
+        columns = [c for c in self.rows[0] if not c.startswith("t_")]
+        return format_table(self.rows, columns=columns)
 
 
 def _collect(
@@ -105,7 +112,7 @@ def _collect(
                 energy=energy,
                 selection=selection,
             )
-            data.rows.append(_row(result))
+            data.rows.append(result_row(result))
             if with_stacks:
                 if first:
                     data.latency_stacks.append(
@@ -251,7 +258,7 @@ def figure5_idle(
             for target in targets:
                 result = run_experiment(benchmark, target=target,
                                         energy=energy)
-                row = _row(result)
+                row = result_row(result)
                 row["idle_factor"] = factor
                 rows.append(row)
     return rows
@@ -270,7 +277,7 @@ def figure5_memory_latency(
             for target in targets:
                 result = run_experiment(benchmark, target=target,
                                         machine=machine)
-                row = _row(result)
+                row = result_row(result)
                 row["memory_latency"] = latency
                 rows.append(row)
     return rows
@@ -293,7 +300,7 @@ def figure5_l2_size(
             for target in targets:
                 result = run_experiment(benchmark, target=target,
                                         machine=machine)
-                row = _row(result)
+                row = result_row(result)
                 row["l2_kb"] = size_bytes // 1024
                 row["l2_latency"] = hit_latency
                 rows.append(row)

@@ -8,6 +8,7 @@ the unoptimized run (the paper's 100% bars).
 
 from __future__ import annotations
 
+import json
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -56,6 +57,21 @@ def format_table(
         "  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in rendered
     )
     return "\n".join(lines)
+
+
+def visible_columns(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    """Columns for human-facing tables: everything except the ``t_*``
+    phase-timing columns that ride along for machine-readable artifacts."""
+    if not rows:
+        return []
+    return [c for c in rows[0] if not str(c).startswith("t_")]
+
+
+def render_json_lines(rows: Iterable[Mapping[str, object]]) -> str:
+    """Rows as JSON lines (one object per line), for ``--json`` output."""
+    return "\n".join(
+        json.dumps(dict(row), default=str, sort_keys=False) for row in rows
+    )
 
 
 def format_breakdown_stack(

@@ -10,7 +10,6 @@ by default, matching DDMT (Section 4.2 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.config import MachineConfig
 from repro.memory.bus import Bus

@@ -1,0 +1,96 @@
+"""Counters and gauges: a tiny always-on metrics registry.
+
+Counters are plain attribute increments on slotted objects, cheap
+enough to leave enabled unconditionally (they count *events* --
+candidates examined, cache hits, simulations run -- never per-cycle
+work).  Hot call sites hold a module-level reference::
+
+    _HITS = counters.counter("harness.experiment.baseline_cache.hits")
+    ...
+    _HITS.add()
+
+``counters.snapshot()`` feeds the run manifest, so every run records
+what its phases actually did.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement (e.g. retired instructions/sec)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+Metric = Union[Counter, Gauge]
+
+
+class MetricsRegistry:
+    """Name -> metric registry with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, cls(name))
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, float]:
+        """All metric values, sorted by name (counters as ints)."""
+        return {
+            name: self._metrics[name].value
+            for name in sorted(self._metrics)
+        }
+
+    def reset(self) -> None:
+        """Zero every metric but keep registrations (and cached refs) alive."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.value = 0 if isinstance(metric, Counter) else 0.0
+
+    def clear(self) -> None:
+        """Drop all registrations (invalidates cached references)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry all repro instrumentation uses.
+counters = MetricsRegistry()

@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.config import EnergyConfig, MachineConfig, SelectionConfig
 from repro.critpath.classify import LoadClassification, classify_trace
 from repro.critpath.loadcost import FlatLoadCost, build_cost_functions
@@ -93,6 +94,9 @@ def select_pthreads(
         classification = classify_trace(trace, machine)
 
     problem_pcs = identify_problem_loads(classification, selection)
+    obs.counters.counter("pthsel.framework.problem_loads").add(
+        len(problem_pcs)
+    )
     result = SelectionResult(
         target=target,
         pthreads=[],
@@ -154,6 +158,7 @@ def select_pthreads(
             max_pthread_insts=selection.max_pthread_insts,
             overlap_discount=selection.overlap_discount,
             min_gain_cycles=selection.min_gain_cycles,
+            target_label=target.label,
         )
         for candidate in selector.select():
             metrics = candidate.metrics
@@ -186,4 +191,13 @@ def select_pthreads(
         selected_all = merge_pthreads(selected_all)
     result.pthreads = selected_all
     result.predicted = totals
+    if obs.is_enabled("info"):
+        obs.log_event(
+            "selection_done",
+            target=target.label,
+            problem_loads=len(problem_pcs),
+            n_pthreads=len(selected_all),
+            ladv_agg=round(totals["ladv_agg"], 1),
+            eadv_agg=round(totals["eadv_agg"], 4),
+        )
     return result

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.critpath.loadcost import FlatLoadCost, LoadCostFunction
 from repro.isa.instruction import StaticInst
 from repro.pthsel.composite import CompositeParams, cadv_agg
@@ -72,6 +73,7 @@ class TreeSelector:
         max_pthread_insts: int = 64,
         overlap_discount: bool = True,
         min_gain_cycles: float = 1.0,
+        target_label: str = "?",
     ) -> None:
         self.tree = tree
         self.latency_model = latency_model
@@ -82,6 +84,7 @@ class TreeSelector:
         self.max_pthread_insts = max_pthread_insts
         self.overlap_discount = overlap_discount
         self.min_gain_cycles = min_gain_cycles
+        self.target_label = target_label
 
     # ------------------------------------------------------------------ #
 
@@ -139,11 +142,13 @@ class TreeSelector:
 
     def select(self) -> List[Candidate]:
         """Greedy selection maximizing summed composite advantage."""
-        candidates = [
-            c
-            for node in self.tree.candidates()
-            if (c := self.evaluate(node)) is not None
-        ]
+        examined = 0
+        candidates = []
+        for node in self.tree.candidates():
+            examined += 1
+            c = self.evaluate(node)
+            if c is not None:
+                candidates.append(c)
         selected: List[Candidate] = []
         remaining = [c for c in candidates if c.metrics["cadv_agg"] > 0]
         while remaining:
@@ -164,4 +169,20 @@ class TreeSelector:
             best.metrics["cadv_agg_discounted"] = cadv
             selected.append(best)
             remaining.remove(best)
+        prefix = f"pthsel.selector.{self.target_label}"
+        obs.counters.counter(f"{prefix}.candidates_examined").add(examined)
+        obs.counters.counter(f"{prefix}.candidates_viable").add(
+            len(candidates)
+        )
+        obs.counters.counter(f"{prefix}.candidates_kept").add(len(selected))
+        if obs.is_enabled("debug"):
+            obs.log_event(
+                "tree_selected",
+                level="debug",
+                target=self.target_label,
+                root_pc=self.tree.root_pc,
+                examined=examined,
+                viable=len(candidates),
+                kept=len(selected),
+            )
         return selected

@@ -10,7 +10,7 @@ loop bounds and constants live in registers initialized before entry
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.errors import WorkloadError
 from repro.isa.builder import ProgramBuilder, WORD_BYTES

@@ -1,8 +1,6 @@
 """Tests for functional trace classification."""
 
-import pytest
 
-from repro.config import MachineConfig
 from repro.critpath.classify import L1, L2, MEM, classify_trace
 from repro.frontend import interpret
 from repro.isa.builder import ProgramBuilder

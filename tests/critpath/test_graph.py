@@ -1,6 +1,5 @@
 """Tests for the dependence-graph forward pass."""
 
-import pytest
 
 from repro.config import MachineConfig
 from repro.critpath.classify import classify_trace

@@ -6,7 +6,6 @@ from repro.cpu.pipeline import simulate
 from repro.ddmt import expand_pthreads
 from repro.energy import EnergyModel
 from repro.frontend import interpret
-from repro.isa.opcodes import Op
 from repro.pthsel import Target, select_pthreads
 from repro.pthsel.framework import BaselineEstimates
 from repro.workloads import get_program

@@ -1,6 +1,5 @@
 """Fast tests for the figure-data helpers (no simulations)."""
 
-import pytest
 
 from repro.harness.figures import FigureData
 

@@ -1,0 +1,113 @@
+"""Tests for the structured logger and hierarchical span timer."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _events(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_log_event_emits_json_line():
+    stream = io.StringIO()
+    obs.configure(level="info", stream=stream)
+    obs.log_event("hello", benchmark="mcf", n=3)
+    (event,) = _events(stream)
+    assert event["event"] == "hello"
+    assert event["level"] == "info"
+    assert event["benchmark"] == "mcf"
+    assert event["n"] == 3
+    assert isinstance(event["ts"], float)
+
+
+def test_levels_filter_events():
+    stream = io.StringIO()
+    obs.configure(level="warning", stream=stream)
+    obs.log_event("quiet", level="info")
+    obs.log_event("debugging", level="debug")
+    obs.log_event("loud", level="warning")
+    events = _events(stream)
+    assert [e["event"] for e in events] == ["loud"]
+
+
+def test_configure_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        obs.configure(level="verbose")
+
+
+def test_is_enabled_tracks_threshold():
+    assert not obs.is_enabled("error")  # off by default
+    obs.configure(level="info", stream=io.StringIO())
+    assert obs.is_enabled("info")
+    assert obs.is_enabled("error")
+    assert not obs.is_enabled("debug")
+
+
+def test_span_nesting_builds_hierarchical_path():
+    stream = io.StringIO()
+    obs.configure(level="info", stream=stream)
+    with obs.span("experiment", benchmark="gcc"):
+        with obs.span("simulate") as inner:
+            assert inner.path == "experiment/simulate"
+            assert obs_log.current_span_path() == "experiment/simulate"
+    assert obs_log.current_span_path() == ""
+    ends = [e for e in _events(stream) if e["event"] == "span_end"]
+    assert [e["name"] for e in ends] == ["simulate", "experiment"]
+    assert ends[0]["span_path"] == "experiment/simulate"
+    assert ends[1]["wall_s"] >= ends[0]["wall_s"] >= 0.0
+
+
+def test_span_times_even_when_disabled():
+    stream = io.StringIO()
+    # Not configured: nothing may be written, but wall_s must be real.
+    with obs.span("phase") as sp:
+        time.sleep(0.002)
+    assert sp.wall_s >= 0.002
+    assert stream.getvalue() == ""
+
+
+def test_span_derives_cycles_per_sec():
+    stream = io.StringIO()
+    obs.configure(level="info", stream=stream)
+    with obs.span("simulate") as sp:
+        time.sleep(0.001)
+        sp.annotate(cycles=1_000_000)
+    (event,) = [e for e in _events(stream) if e["event"] == "span_end"]
+    assert event["cycles"] == 1_000_000
+    assert event["cycles_per_sec"] > 0
+
+
+def test_span_reports_exceptions():
+    stream = io.StringIO()
+    obs.configure(level="info", stream=stream)
+    with pytest.raises(RuntimeError):
+        with obs.span("doomed"):
+            raise RuntimeError("boom")
+    (event,) = [e for e in _events(stream) if e["event"] == "span_end"]
+    assert event["error"] == "RuntimeError"
+
+
+def test_disabled_fast_path_writes_nothing():
+    stream = io.StringIO()
+    obs.configure(level="info", stream=stream)
+    obs.reset()  # back to off, stream cleared
+    start = time.perf_counter()
+    for _ in range(50_000):
+        obs.log_event("noise", level="debug", payload="x" * 100)
+    elapsed = time.perf_counter() - start
+    assert stream.getvalue() == ""
+    # Generous bound: the disabled path is one dict lookup + compare.
+    assert elapsed < 1.0

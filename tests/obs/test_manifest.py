@@ -1,0 +1,90 @@
+"""Tests for config fingerprints and the run-artifact writer."""
+
+import csv
+import json
+
+from repro.config import EnergyConfig, MachineConfig
+from repro.obs.manifest import RunWriter, config_fingerprint
+
+
+def test_fingerprint_stable_across_instances():
+    assert config_fingerprint(MachineConfig()) == config_fingerprint(
+        MachineConfig()
+    )
+
+
+def test_fingerprint_distinguishes_values_and_types():
+    base = config_fingerprint(MachineConfig())
+    assert config_fingerprint(MachineConfig(width=8)) != base
+    assert config_fingerprint(EnergyConfig()) != base
+
+
+def test_config_fingerprint_property():
+    cfg = MachineConfig()
+    assert cfg.fingerprint == config_fingerprint(cfg)
+    assert len(cfg.fingerprint) == 16
+
+
+def test_run_writer_round_trip(tmp_path):
+    out = tmp_path / "demo"
+    writer = RunWriter(str(out), command="figure3", argv=["figure3"],
+                       configs={"machine": MachineConfig()})
+    writer.add_row({"benchmark": "gcc", "target": "L", "speedup_pct": 12.5})
+    writer.add_row({"benchmark": "gcc", "target": "E", "speedup_pct": 4.0})
+    manifest_path = writer.finalize(
+        counters={"cpu.pipeline.simulations": 3}, gmeans={"L": 12.5}
+    )
+
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest_path == str(out / "manifest.json")
+    assert manifest["command"] == "figure3"
+    assert manifest["n_rows"] == 2
+    assert manifest["version"]
+    assert manifest["counters"] == {"cpu.pipeline.simulations": 3}
+    assert manifest["gmeans"] == {"L": 12.5}
+    fp = manifest["configs"]["machine"]["fingerprint"]
+    assert fp == MachineConfig().fingerprint
+    assert manifest["configs"]["machine"]["values"]["width"] == 6
+
+    rows = [json.loads(line)
+            for line in (out / "results.jsonl").read_text().splitlines()]
+    assert [r["target"] for r in rows] == ["L", "E"]
+
+    with open(out / "run_table.csv", newline="") as fh:
+        table = list(csv.DictReader(fh))
+    assert len(table) == 2
+    assert table[0]["benchmark"] == "gcc"
+    assert table[0]["run_id"] == writer.run_id
+    assert table[0]["command"] == "figure3"
+    assert float(table[0]["speedup_pct"]) == 12.5
+
+
+def test_run_table_appends_and_reuses_header(tmp_path):
+    out = str(tmp_path / "demo")
+    w1 = RunWriter(out, command="run")
+    w1.add_row({"benchmark": "a", "target": "L", "speedup_pct": 1.0})
+    w1.finalize()
+
+    # A second run into the same directory appends; its extra column is
+    # dropped so the accumulated table stays rectangular.
+    w2 = RunWriter(out, command="run")
+    w2.add_row({"benchmark": "b", "target": "E", "speedup_pct": 2.0,
+                "new_col": 9})
+    w2.finalize()
+
+    with open(f"{out}/run_table.csv", newline="") as fh:
+        lines = fh.read().splitlines()
+    assert len(lines) == 3  # one header + two rows
+    with open(f"{out}/run_table.csv", newline="") as fh:
+        table = list(csv.DictReader(fh))
+    assert [r["benchmark"] for r in table] == ["a", "b"]
+    assert "new_col" not in table[0]
+    # results.jsonl accumulates too, keeping the dropped column.
+    results = open(f"{out}/results.jsonl").read().splitlines()
+    assert len(results) == 2
+    assert json.loads(results[1])["new_col"] == 9
+
+
+def test_run_ids_embed_timestamp(tmp_path):
+    writer = RunWriter(str(tmp_path / "x"))
+    assert "T" in writer.run_id and "-" in writer.run_id

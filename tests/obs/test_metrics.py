@@ -1,0 +1,56 @@
+"""Tests for the counters/gauges registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counter_get_or_create_identity():
+    reg = MetricsRegistry()
+    a = reg.counter("x.hits")
+    b = reg.counter("x.hits")
+    assert a is b
+    a.add()
+    a.add(4)
+    assert b.value == 5
+
+
+def test_gauge_set_last_value_wins():
+    reg = MetricsRegistry()
+    g = reg.gauge("x.rate")
+    g.set(10.0)
+    g.set(3.5)
+    assert g.value == 3.5
+
+
+def test_snapshot_is_sorted_and_complete():
+    reg = MetricsRegistry()
+    reg.counter("b.count").add(2)
+    reg.gauge("a.rate").set(1.5)
+    snap = reg.snapshot()
+    assert list(snap) == ["a.rate", "b.count"]
+    assert snap == {"a.rate": 1.5, "b.count": 2}
+
+
+def test_reset_zeroes_but_keeps_references():
+    reg = MetricsRegistry()
+    c = reg.counter("n")
+    c.add(7)
+    reg.reset()
+    assert c.value == 0
+    c.add()  # the cached reference still feeds the registry
+    assert reg.snapshot() == {"n": 1}
+
+
+def test_clear_drops_registrations():
+    reg = MetricsRegistry()
+    reg.counter("n").add()
+    reg.clear()
+    assert reg.snapshot() == {}
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")

@@ -5,7 +5,6 @@ import pytest
 from repro.critpath.classify import classify_trace
 from repro.frontend import interpret
 from repro.slicer import build_slice_tree, identify_problem_loads
-from repro.slicer.slicetree import SliceNode
 from repro.workloads import get_program
 
 
