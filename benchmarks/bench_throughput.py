@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Measure simulator throughput + figure-grid wall time; write BENCH json.
+
+Standalone script (not a pytest module): run it from anywhere and it
+writes ``BENCH_<yyyymmdd>.json`` at the repository root by default, so
+successive runs record the perf trajectory next to the code that moved
+it.  ``repro bench`` is the installed equivalent.
+
+Usage::
+
+    python benchmarks/bench_throughput.py [--quick] [--jobs N]
+        [--out-file PATH] [--no-grid]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.bench import run_bench, write_bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small benchmark subset + reduced grid")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the grid timing")
+    parser.add_argument("--no-grid", action="store_true",
+                        help="skip the figure-grid wall-time measurement")
+    parser.add_argument("--out-file", default=None,
+                        help="output path (default BENCH_<date>.json at "
+                        "the repo root)")
+    args = parser.parse_args(argv)
+
+    payload = run_bench(
+        quick=args.quick, jobs=args.jobs, with_grid=not args.no_grid
+    )
+    out = args.out_file
+    if out is None:
+        out = os.path.join(REPO_ROOT, f"BENCH_{payload['date'].replace('-', '')}.json")
+    path = write_bench(payload, out)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ from pathlib import Path
 
 import pytest
 
+# Benchmarks time the real regeneration work; a warm persistent cache
+# would skip it and report meaningless wall-clocks.
+os.environ.setdefault("REPRO_CACHE", "0")
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 

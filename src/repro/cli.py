@@ -9,6 +9,8 @@ Commands mirror the paper's evaluation:
 - ``figure5 idle|memlat|l2``  sensitivity panels
 - ``table3``             model validation ratios
 - ``list``               available benchmarks
+- ``cache stats|clear``  inspect / empty the persistent simulation cache
+- ``bench``              measure simulator + grid throughput
 
 Every evaluation command accepts the global observability flags:
 
@@ -20,11 +22,20 @@ Every evaluation command accepts the global observability flags:
   ``manifest.json`` (provenance + config fingerprints + counters),
   ``results.jsonl`` (one row per (benchmark, target)), and an
   appendable ``run_table.csv``.
+
+and the performance flags:
+
+- ``--jobs N``           worker processes for figure grids (default:
+  ``REPRO_JOBS`` or ``os.cpu_count()``; ``1`` = fully sequential);
+- ``--cache-dir DIR``    persistent simulation cache location
+  (default ``~/.cache/repro-sim``);
+- ``--no-sim-cache``     disable the persistent cache for this run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Dict, List, Optional
@@ -36,7 +47,7 @@ from repro.config import (
     SelectionConfig,
     SimulationConfig,
 )
-from repro.harness import figures
+from repro.harness import figures, simcache
 from repro.harness.experiment import run_experiment
 from repro.harness.figures import result_row
 from repro.harness.report import (
@@ -70,6 +81,26 @@ def _parser() -> argparse.ArgumentParser:
         help="write manifest.json/results.jsonl and append run_table.csv "
         "under DIR",
     )
+    obs_flags.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for experiment grids "
+        "(default: REPRO_JOBS or cpu count; 1 = sequential)",
+    )
+    obs_flags.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent simulation cache directory "
+        "(default ~/.cache/repro-sim)",
+    )
+    obs_flags.add_argument(
+        "--no-sim-cache",
+        action="store_true",
+        help="disable the persistent simulation cache for this run",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -101,6 +132,25 @@ def _parser() -> argparse.ArgumentParser:
     sub.add_parser("table3", parents=[obs_flags],
                    help="model validation ratios")
     sub.add_parser("list", parents=[obs_flags], help="list benchmarks")
+
+    cache = sub.add_parser("cache", parents=[obs_flags],
+                           help="persistent simulation cache maintenance")
+    cache.add_argument("action", choices=("stats", "clear"))
+
+    bench = sub.add_parser("bench", parents=[obs_flags],
+                           help="measure simulator and grid throughput")
+    bench.add_argument("--quick", action="store_true",
+                       help="small benchmark subset + reduced grid "
+                       "(CI smoke mode)")
+    bench.add_argument("--no-grid", action="store_true",
+                       help="skip the figure-grid wall-time measurement")
+    bench.add_argument("--out-file", default=None, metavar="PATH",
+                       help="also write the payload as JSON to PATH "
+                       "(default: BENCH_<date>.json in the current "
+                       "directory when --write is given)")
+    bench.add_argument("--write", action="store_true",
+                       help="write BENCH_<date>.json (implied by "
+                       "--out-file)")
     return parser
 
 
@@ -153,6 +203,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "log_level", "off") != "off":
         obs.configure(level=args.log_level)
 
+    if getattr(args, "cache_dir", None) or getattr(args, "no_sim_cache",
+                                                   False):
+        simcache.configure(
+            cache_dir=args.cache_dir,
+            enabled=False if args.no_sim_cache else None,
+        )
+    jobs = getattr(args, "jobs", None)
+
+    if args.command == "cache":
+        cache = simcache.get_cache() or simcache.SimCache(args.cache_dir)
+        if args.action == "stats":
+            print(json.dumps(cache.stats(), indent=1, sort_keys=True))
+        else:
+            removed = cache.clear()
+            print(f"removed {removed} entries from {cache.root}")
+        return 0
+
+    if args.command == "bench":
+        from repro.harness.bench import run_bench, write_bench
+
+        payload = run_bench(
+            quick=args.quick, jobs=jobs, with_grid=not args.no_grid
+        )
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        if args.write or args.out_file:
+            path = write_bench(payload, args.out_file)
+            print(f"wrote {path}", file=sys.stderr)
+        return 0
+
     if args.command == "list":
         rows = [{"benchmark": name} for name in benchmark_names()]
         if args.json:
@@ -182,14 +261,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "figure2":
-        data = figures.figure2()
+        data = figures.figure2(jobs=jobs)
         _emit_rows(args, data.rows)
         _write_artifacts(args, argv, data.rows)
         return 0
 
     if args.command == "figure3":
         benchmarks = args.benchmarks or list(benchmark_names())
-        data = figures.figure3(benchmarks=benchmarks)
+        data = figures.figure3(benchmarks=benchmarks, jobs=jobs)
         gmeans = {
             metric: {t: round(v, 4) for t, v in data.gmeans(metric).items()}
             for metric in ("speedup_pct", "energy_save_pct", "ed_save_pct")
@@ -207,7 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "figure4":
-        data = figures.figure4()
+        data = figures.figure4(jobs=jobs)
         _emit_rows(args, data.rows)
         _write_artifacts(args, argv, data.rows)
         return 0
@@ -218,13 +297,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             "memlat": figures.figure5_memory_latency,
             "l2": figures.figure5_l2_size,
         }[args.panel]
-        rows = panel()
+        rows = panel(jobs=jobs)
         _emit_rows(args, rows)
         _write_artifacts(args, argv, rows, panel=args.panel)
         return 0
 
     if args.command == "table3":
-        rows = figures.table3()
+        rows = figures.table3(jobs=jobs)
         _emit_rows(args, rows)
         _write_artifacts(args, argv, rows)
         return 0

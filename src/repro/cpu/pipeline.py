@@ -72,6 +72,54 @@ _PCLASS_TO_KIND = {
     PInstClass.LOAD: _LOAD,
 }
 
+# Control classes on the fetch path.
+_CTRL_NONE, _CTRL_BRANCH, _CTRL_JUMP = range(3)
+
+
+def _trace_arrays(trace: Trace) -> Tuple[List, ...]:
+    """Flat per-instruction arrays for the hot loop, memoized on the trace.
+
+    The per-cycle closures index plain lists instead of chasing
+    ``DynInst -> Op -> OpClass`` attribute/property/enum-hash chains (the
+    top cost center of the interpreter loop).  A trace is simulated many
+    times across an experiment grid (baseline + profile + per-target
+    augmented runs), so the one-time flattening amortizes immediately.
+    """
+    arrays = getattr(trace, "_pipeline_arrays", None)
+    if arrays is None:
+        insts = trace.insts
+        # Per-Op lookups keyed by object id: a C-level int hash instead of
+        # the Python-level enum ``__hash__`` + ``op_class`` property chain.
+        per_op = {}
+        for op in {dyn.op for dyn in insts}:
+            op_class = op.op_class
+            if op_class is OpClass.BRANCH:
+                ctrl_code = _CTRL_BRANCH
+            elif op_class is OpClass.JUMP:
+                ctrl_code = _CTRL_JUMP
+            else:
+                ctrl_code = _CTRL_NONE
+            per_op[id(op)] = (
+                _CLASS_TO_KIND[op_class],
+                ctrl_code,
+                op.writes_register,
+            )
+        ops = [per_op[id(dyn.op)] for dyn in insts]
+        arrays = (
+            [o[0] for o in ops],                 # kind
+            [o[1] for o in ops],                 # ctrl
+            [o[2] for o in ops],                 # writes_register
+            [dyn.pc for dyn in insts],
+            [dyn.addr for dyn in insts],
+            [dyn.src1_seq for dyn in insts],
+            [dyn.src2_seq for dyn in insts],
+            [dyn.taken for dyn in insts],
+            [dyn.next_pc for dyn in insts],
+            [dyn.seq for dyn in insts],
+        )
+        trace._pipeline_arrays = arrays
+    return arrays
+
 
 class _Entry:
     """One instruction in the out-of-order window."""
@@ -175,6 +223,21 @@ class Pipeline:
         act = stats.activity
         hierarchy = self.hierarchy
 
+        # Hot-loop locals: per-trace flat arrays plus bound methods, so the
+        # per-cycle closures never resolve attributes, properties, or
+        # enum-keyed dicts on the critical path.
+        (kind_arr, ctrl_arr, writes_arr, pc_arr, addr_arr, src1_arr,
+         src2_arr, taken_arr, next_pc_arr, seq_arr) = _trace_arrays(trace)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        data_access = hierarchy.data_access
+        inst_fetch = hierarchy.inst_fetch
+        predict_and_update = self.predictor.predict_and_update
+        btb_lookup = self.btb.lookup
+        btb_update = self.btb.update
+        spawns_by_trigger = self.pthreads.spawns_by_trigger
+        has_spawns = bool(spawns_by_trigger)
+
         width = cfg.width
         commit_width = cfg.commit_width
         frontend_depth = cfg.frontend_depth
@@ -183,17 +246,16 @@ class Pipeline:
         phys_budget = cfg.physical_registers - 32  # main arch state
         pipe_capacity = width * frontend_depth
         line_shift = cfg.icache.line_bytes.bit_length() - 1
-        insts_per_line = cfg.icache.line_bytes // INST_BYTES
         pth_block_interval = max(1, int(round(width / cfg.pthread_fetch_ipc)))
+        int_alus = cfg.int_alus
+        load_ports = cfg.load_ports
+        store_ports = cfg.store_ports
+        mul_latency = cfg.mul_latency
+        issue_pool_limit = width + 8
 
         # Completion times: list for main instructions, dict for p-insts.
         completion: List[int] = [_NOT_DONE] * n_main
         p_completion: Dict[int, int] = {}
-
-        def done_at(uid: int) -> int:
-            return completion[uid] if uid < n_main else p_completion.get(
-                uid, _NOT_DONE
-            )
 
         # Wakeup machinery.
         wakeup: Dict[int, List[_Entry]] = {}
@@ -252,7 +314,7 @@ class Pipeline:
                 completion[uid] = time
             else:
                 p_completion[uid] = time
-            heapq.heappush(completion_events, (time, uid))
+            heappush(completion_events, (time, uid))
 
         def register_deps(entry: _Entry, producers: Tuple[int, ...]) -> bool:
             """Register wakeups; return True if already ready."""
@@ -260,13 +322,17 @@ class Pipeline:
             for producer in producers:
                 if producer == NO_PRODUCER:
                     continue
-                t = done_at(producer)
+                # done_at(), inlined for the hot path.
+                if producer < n_main:
+                    t = completion[producer]
+                else:
+                    t = p_completion.get(producer, _NOT_DONE)
                 if t == _NOT_DONE or t > now:
                     wakeup.setdefault(producer, []).append(entry)
                     pending += 1
             entry.pending = pending
             if pending == 0:
-                heapq.heappush(ready, (entry.uid, entry))
+                heappush(ready, (entry.uid, entry))
                 return True
             return False
 
@@ -277,7 +343,7 @@ class Pipeline:
 
         def attempt_spawns(trigger_seq: int) -> None:
             nonlocal free_contexts, next_uid, phys_used
-            for spawn in self.pthreads.spawns_by_trigger.get(trigger_seq, ()):
+            for spawn in spawns_by_trigger.get(trigger_seq, ()):
                 stats.spawns_attempted += 1
                 if free_contexts <= 0:
                     stats.spawns_dropped_no_context += 1
@@ -304,7 +370,7 @@ class Pipeline:
                 if t == _NOT_DONE or t > now:
                     break
                 rob.popleft()
-                if insts[head].op.writes_register:
+                if writes_arr[head]:
                     phys_used -= 1
                 committed += 1
                 n += 1
@@ -315,12 +381,12 @@ class Pipeline:
         def process_completions() -> bool:
             fired = False
             while completion_events and completion_events[0][0] <= now:
-                _, uid = heapq.heappop(completion_events)
+                _, uid = heappop(completion_events)
                 fired = True
                 for waiter in wakeup.pop(uid, ()):
                     waiter.pending -= 1
                     if waiter.pending == 0:
-                        heapq.heappush(ready, (waiter.uid, waiter))
+                        heappush(ready, (waiter.uid, waiter))
             return fired
 
         def issue_one(entry: _Entry) -> bool:
@@ -328,7 +394,7 @@ class Pipeline:
             nonlocal redirect_clear_at
             kind = entry.kind
             if kind == _LOAD:
-                result = hierarchy.data_access(
+                result = data_access(
                     entry.addr, now, is_write=False, is_pthread=entry.is_pth
                 )
                 if result.retry:
@@ -366,7 +432,7 @@ class Pipeline:
                         stats.useful_prefetches += 1
                 schedule_completion(entry.uid, result.complete_at)
             elif kind == _STORE:
-                result = hierarchy.data_access(entry.addr, now, is_write=True)
+                result = data_access(entry.addr, now, is_write=True)
                 if result.retry:
                     return False
                 act.dmem_accesses_main += 1
@@ -375,7 +441,7 @@ class Pipeline:
                 # Stores drain through the store buffer off the critical path.
                 schedule_completion(entry.uid, now + 1)
             elif kind == _MUL:
-                schedule_completion(entry.uid, now + cfg.mul_latency)
+                schedule_completion(entry.uid, now + mul_latency)
             else:  # ALU or BRANCH
                 schedule_completion(entry.uid, now + 1)
                 if kind == _BRANCH and entry.seq == pending_redirect:
@@ -402,15 +468,17 @@ class Pipeline:
 
         def do_issue() -> bool:
             nonlocal rs_used_main, rs_used_pth
-            alu_slots = cfg.int_alus
-            load_slots = cfg.load_ports
-            store_slots = cfg.store_ports
+            if not ready and not deferred:
+                return False
+            alu_slots = int_alus
+            load_slots = load_ports
+            store_slots = store_ports
             issued = 0
             retry: List[_Entry] = []
             pool: List[_Entry] = deferred[:]
             deferred.clear()
-            while ready and len(pool) < width + 8:
-                pool.append(heapq.heappop(ready)[1])
+            while ready and len(pool) < issue_pool_limit:
+                pool.append(heappop(ready)[1])
             for entry in pool:
                 kind = entry.kind
                 if kind == _LOAD:
@@ -446,14 +514,13 @@ class Pipeline:
                 ready_at, seq = frontend_pipe[0]
                 if ready_at > now:
                     break
-                dyn = insts[seq]
-                kind = _CLASS_TO_KIND[dyn.op.op_class]
+                kind = kind_arr[seq]
                 if len(rob) >= rob_capacity:
                     break
                 needs_rs = kind != _NOP
                 if needs_rs and rs_used_main >= main_rs_cap:
                     break
-                writes = dyn.op.writes_register
+                writes = writes_arr[seq]
                 if writes and phys_used >= phys_budget:
                     break
                 frontend_pipe.popleft()
@@ -463,11 +530,13 @@ class Pipeline:
                     phys_used += 1
                 if needs_rs:
                     rs_used_main += 1
-                    entry = _Entry(seq, kind, seq, dyn.pc, dyn.addr)
-                    register_deps(entry, (dyn.src1_seq, dyn.src2_seq))
+                    entry = _Entry(seq, kind, seq, pc_arr[seq],
+                                   addr_arr[seq])
+                    register_deps(entry, (src1_arr[seq], src2_arr[seq]))
                 else:
                     schedule_completion(seq, now)
-                attempt_spawns(seq)
+                if has_spawns:
+                    attempt_spawns(seq)
                 n += 1
             while n < width and pth_pipe:
                 ready_at, ctx, idx = pth_pipe[0]
@@ -536,10 +605,10 @@ class Pipeline:
             if next_seq >= n_main:
                 return False
 
-            pc = insts[next_seq].pc
+            pc = pc_arr[next_seq]
             line = (pc * INST_BYTES) >> line_shift
             if line != fetch_line:
-                result = hierarchy.inst_fetch(pc * INST_BYTES, now)
+                result = inst_fetch(pc * INST_BYTES, now)
                 fetch_line = line
                 if not result.l1_hit:
                     line_ready_at = result.complete_at
@@ -555,71 +624,79 @@ class Pipeline:
                 and next_seq < n_main
                 and len(frontend_pipe) < pipe_capacity
             ):
-                dyn = insts[next_seq]
-                if (dyn.pc * INST_BYTES) >> line_shift != fetch_line:
+                pc = pc_arr[next_seq]
+                if (pc * INST_BYTES) >> line_shift != fetch_line:
                     break
-                frontend_pipe.append((now + frontend_depth, next_seq))
+                idx = next_seq
+                frontend_pipe.append((now + frontend_depth, idx))
                 next_seq += 1
                 fetched += 1
-                if dyn.op.op_class is OpClass.BRANCH:
+                ctrl = ctrl_arr[idx]
+                if ctrl == _CTRL_BRANCH:
+                    taken = taken_arr[idx]
                     stats.branches += 1
                     act.bpred_accesses += 1
-                    predicted = self.predictor.predict_and_update(
-                        dyn.pc, dyn.taken
-                    )
-                    hint = branch_hints.get(dyn.seq)
+                    predicted = predict_and_update(pc, taken)
+                    hint = branch_hints.get(seq_arr[idx])
                     if hint is not None and hint[0] <= now:
                         # A branch p-thread pre-computed this outcome in
                         # time: fetch follows the hint instead of the
                         # predictor (a wrong hint still mispredicts).
                         stats.branch_hints_used += 1
                         predicted = hint[1]
-                    if predicted != dyn.taken:
+                    if predicted != taken:
                         stats.mispredictions += 1
-                        pending_redirect = dyn.seq
+                        pending_redirect = seq_arr[idx]
                         redirect_clear_at = None
                         break
-                    if dyn.taken:
-                        target = self.btb.lookup(dyn.pc)
-                        if target != dyn.next_pc:
+                    if taken:
+                        branch_next_pc = next_pc_arr[idx]
+                        target = btb_lookup(pc)
+                        if target != branch_next_pc:
                             stats.btb_misses += 1
-                            self.btb.update(dyn.pc, dyn.next_pc)
+                            btb_update(pc, branch_next_pc)
                             fetch_hold_until = now + 2
-                        fetch_line = (dyn.next_pc * INST_BYTES) >> line_shift
-                        new_line = fetch_line
-                        result = hierarchy.inst_fetch(
-                            dyn.next_pc * INST_BYTES, now
-                        )
+                        fetch_line = (
+                            branch_next_pc * INST_BYTES
+                        ) >> line_shift
+                        result = inst_fetch(branch_next_pc * INST_BYTES, now)
                         if not result.l1_hit:
                             line_ready_at = result.complete_at
                         break
-                elif dyn.op.op_class is OpClass.JUMP:
-                    fetch_line = (dyn.next_pc * INST_BYTES) >> line_shift
-                    result = hierarchy.inst_fetch(dyn.next_pc * INST_BYTES, now)
+                elif ctrl == _CTRL_JUMP:
+                    jump_next_pc = next_pc_arr[idx]
+                    fetch_line = (jump_next_pc * INST_BYTES) >> line_shift
+                    result = inst_fetch(jump_next_pc * INST_BYTES, now)
                     if not result.l1_hit:
                         line_ready_at = result.complete_at
                     break
             return fetched > 0
 
+        # Cycle attribution accumulates into plain integers and is flushed
+        # into ``stats.breakdown`` once after the loop: the per-cycle
+        # getattr/setattr of ``LatencyBreakdown.add`` was a top cost.
+        bd_mem = bd_l2 = bd_exec = bd_commit = bd_fetch = 0
+        load_kind_get = load_kind.get
+
         def attribute_cycles(n: int) -> None:
+            nonlocal bd_mem, bd_l2, bd_exec, bd_commit, bd_fetch
             if not rob:
-                stats.breakdown.add("fetch", n)
+                bd_fetch += n
                 return
             head = rob[0]
             t = completion[head]
             if t != _NOT_DONE and t <= now:
-                stats.breakdown.add("commit", n)
+                bd_commit += n
                 return
-            dyn = insts[head]
-            if dyn.op.op_class is OpClass.LOAD:
-                kind = load_kind.get(head)
+            if kind_arr[head] == _LOAD:
+                kind = load_kind_get(head)
                 if kind == "mem":
-                    stats.breakdown.add("mem", n)
+                    bd_mem += n
                     return
                 if kind == "l2":
-                    stats.breakdown.add("l2", n)
+                    bd_l2 += n
                     return
-            stats.breakdown.add("exec", n)
+            bd_exec += n
 
         # -------------------------------------------------------------- #
         # Main loop.
@@ -658,7 +735,8 @@ class Pipeline:
                     cycles_per_sec=round(now / wall_s) if wall_s else 0,
                 )
                 heartbeat_next = now + HEARTBEAT_CYCLES
-            process_completions()
+            if completion_events and completion_events[0][0] <= now:
+                process_completions()
             active = do_commit()
             active |= do_issue()
             active |= do_dispatch()
@@ -714,6 +792,12 @@ class Pipeline:
         stats.cycles = now
         stats.committed = committed
         act.cycles = now
+        breakdown = stats.breakdown
+        breakdown.mem += bd_mem
+        breakdown.l2 += bd_l2
+        breakdown.exec += bd_exec
+        breakdown.commit += bd_commit
+        breakdown.fetch += bd_fetch
 
         wall_s = time.perf_counter() - wall_start
         _SIM_RUNS.add()

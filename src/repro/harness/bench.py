@@ -1,0 +1,162 @@
+"""Throughput benchmarking: the repo's performance trajectory.
+
+Two measurements matter for the "as fast as the hardware allows" goal:
+
+- **Simulator throughput** -- single-thread ``cycles/sec`` through
+  :func:`repro.cpu.pipeline.simulate` per benchmark, the number the
+  hot-loop optimization work targets.  The trace is interpreted (and its
+  flat per-instruction arrays built) outside the timed region, matching
+  how the harness amortizes those costs across a figure grid.
+- **Figure-grid wall time** -- end-to-end seconds for a representative
+  sweep (``figure5_memory_latency``), measured three ways: sequential
+  with the simulation cache disabled (the seed baseline's behavior),
+  then with ``--jobs N`` + cache on a first (cold) and second (warm)
+  pass.
+
+:func:`run_bench` collects both into one JSON-serializable payload and
+:func:`write_bench` writes it as ``BENCH_<yyyymmdd>.json``, seeding the
+perf history the CI smoke job uploads per PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro import __version__, obs
+from repro.config import MachineConfig, SimulationConfig
+from repro.cpu.pipeline import simulate
+from repro.frontend.interpreter import interpret
+from repro.harness import figures, simcache
+from repro.pthsel.targets import Target
+from repro.workloads import benchmark_names
+from repro.workloads.registry import get_program
+
+#: Benchmarks the quick (CI smoke) mode times.
+QUICK_BENCHMARKS = ("gcc", "twolf")
+
+
+def bench_simulator(
+    benchmarks: Optional[Sequence[str]] = None,
+    input_name: str = "train",
+) -> List[Dict[str, object]]:
+    """Single-thread simulator throughput rows, one per benchmark."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    sim = SimulationConfig()
+    machine = MachineConfig()
+    rows: List[Dict[str, object]] = []
+    for benchmark in benchmarks:
+        trace = interpret(
+            get_program(benchmark, input_name),
+            max_instructions=sim.max_instructions,
+        )
+        with obs.span("bench_simulate", benchmark=benchmark):
+            t0 = time.perf_counter()
+            stats = simulate(trace, machine)
+            wall = time.perf_counter() - t0
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "cycles": stats.cycles,
+                "committed": stats.committed,
+                "wall_s": round(wall, 4),
+                "cycles_per_sec": round(stats.cycles / wall) if wall else 0,
+            }
+        )
+    return rows
+
+
+def _grid_kwargs(quick: bool) -> Dict[str, object]:
+    if quick:
+        return {
+            "benchmarks": ("gcc",),
+            "latencies": (100, 200),
+            "targets": (Target.LATENCY,),
+        }
+    return {}
+
+
+def bench_grid(
+    jobs: Optional[int] = None,
+    quick: bool = False,
+    compare_sequential: bool = True,
+) -> Dict[str, object]:
+    """Wall-clock three ways through ``figure5_memory_latency``."""
+    kwargs = _grid_kwargs(quick)
+    out: Dict[str, object] = {
+        "grid": "figure5_memory_latency",
+        "quick": quick,
+        "jobs": jobs,
+    }
+
+    if compare_sequential:
+        with simcache.disabled():
+            t0 = time.perf_counter()
+            rows = figures.figure5_memory_latency(jobs=1, **kwargs)
+            out["sequential_uncached_wall_s"] = round(
+                time.perf_counter() - t0, 3
+            )
+        out["rows"] = len(rows)
+
+    t0 = time.perf_counter()
+    rows = figures.figure5_memory_latency(jobs=jobs, **kwargs)
+    out["cold_wall_s"] = round(time.perf_counter() - t0, 3)
+    out["rows"] = len(rows)
+
+    t0 = time.perf_counter()
+    figures.figure5_memory_latency(jobs=jobs, **kwargs)
+    out["warm_wall_s"] = round(time.perf_counter() - t0, 3)
+
+    seq = out.get("sequential_uncached_wall_s")
+    if seq:
+        out["warm_speedup"] = round(seq / max(out["warm_wall_s"], 1e-9), 2)
+    return out
+
+
+def run_bench(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    with_grid: bool = True,
+    compare_sequential: Optional[bool] = None,
+) -> Dict[str, object]:
+    """Collect the full benchmark payload (simulator + grid timings)."""
+    if compare_sequential is None:
+        compare_sequential = True
+    payload: Dict[str, object] = {
+        "date": time.strftime("%Y-%m-%d"),
+        "version": __version__,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "quick": quick,
+        "simulator": bench_simulator(
+            QUICK_BENCHMARKS if quick else None
+        ),
+    }
+    if with_grid:
+        payload["figure_grid"] = bench_grid(
+            jobs=jobs, quick=quick, compare_sequential=compare_sequential
+        )
+    cache = simcache.get_cache()
+    if cache is not None:
+        payload["simcache"] = cache.stats()
+    return payload
+
+
+def write_bench(
+    payload: Dict[str, object], path: Optional[str] = None
+) -> str:
+    """Write ``payload`` to ``path`` (default ``BENCH_<yyyymmdd>.json``
+    in the current directory) and return the path written."""
+    if path is None:
+        path = f"BENCH_{time.strftime('%Y%m%d')}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path

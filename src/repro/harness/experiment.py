@@ -27,6 +27,7 @@ from repro.energy.metrics import relative_metrics
 from repro.energy.wattch import EnergyModel, EnergyResult
 from repro.frontend.interpreter import interpret
 from repro.frontend.trace import Trace
+from repro.harness import simcache
 from repro.pthsel.framework import (
     BaselineEstimates,
     SelectionResult,
@@ -110,9 +111,14 @@ class ExperimentResult:
 
 # --------------------------------------------------------------------- #
 # Baseline caching: sensitivity sweeps re-simulate the same baseline for
-# several targets; MachineConfig is frozen/hashable, so key on it.  The
-# cache is a true LRU: hits move to the recently-used end, eviction pops
-# the least-recently-used entry.
+# several targets.  Two layers:
+#
+# - an in-process LRU holding (trace, stats), keyed by the workload's
+#   *content* fingerprint plus the machine configuration -- two programs
+#   registered under the same benchmark name can never alias;
+# - the persistent :mod:`repro.harness.simcache`, holding the SimStats
+#   only (traces are cheap to re-interpret, expensive to store), shared
+#   across processes and CLI invocations.
 # --------------------------------------------------------------------- #
 
 _BASELINE_CACHE: "OrderedDict[Tuple, Tuple[Trace, SimStats]]" = OrderedDict()
@@ -127,30 +133,85 @@ _CACHE_EVICTIONS = obs.counters.counter(
 )
 
 
+def _baseline_material(
+    benchmark: str,
+    input_name: str,
+    program_fp: str,
+    machine: MachineConfig,
+    sim: SimulationConfig,
+) -> Dict[str, object]:
+    """Disk-cache key material for one baseline timing simulation."""
+    return {
+        "kind": "baseline_stats",
+        "benchmark": benchmark,
+        "input": input_name,
+        "program": program_fp,
+        "machine": machine.fingerprint,
+        "max_instructions": sim.max_instructions,
+    }
+
+
 def _baseline_sim(
     benchmark: str,
     input_name: str,
     machine: MachineConfig,
     sim: SimulationConfig,
 ) -> Tuple[Trace, SimStats]:
-    key = (benchmark, input_name, machine, sim.max_instructions)
+    program = get_program(benchmark, input_name)
+    program_fp = program.fingerprint()
+    key = (program_fp, machine, sim.max_instructions)
     hit = _BASELINE_CACHE.get(key)
     if hit is not None:
         _BASELINE_CACHE.move_to_end(key)
         _CACHE_HITS.add()
         return hit
     _CACHE_MISSES.add()
+    disk = simcache.get_cache()
+    material = _baseline_material(
+        benchmark, input_name, program_fp, machine, sim
+    )
     with obs.span("baseline_sim", benchmark=benchmark,
                   input=input_name) as sp:
-        program = get_program(benchmark, input_name)
         trace = interpret(program, max_instructions=sim.max_instructions)
-        stats = simulate(trace, machine)
+        stats: Optional[SimStats] = None
+        if disk is not None:
+            cached = disk.get(material)
+            if isinstance(cached, SimStats):
+                stats = cached
+        if stats is None:
+            stats = simulate(trace, machine)
+            if disk is not None:
+                disk.put(material, stats)
         sp.annotate(cycles=stats.cycles, committed=stats.committed)
     while len(_BASELINE_CACHE) >= _BASELINE_CACHE_LIMIT:
         _BASELINE_CACHE.popitem(last=False)
         _CACHE_EVICTIONS.add()
     _BASELINE_CACHE[key] = (trace, stats)
     return trace, stats
+
+
+def warm_baseline(
+    benchmark: str,
+    input_name: str = "train",
+    machine: Optional[MachineConfig] = None,
+    sim: Optional[SimulationConfig] = None,
+) -> SimStats:
+    """Ensure one baseline simulation is cached (LRU + disk); returns its
+    stats.  The parallel engine fans these out before dispatching full
+    experiments so identical baselines are simulated exactly once."""
+    _, stats = _baseline_sim(
+        benchmark,
+        input_name,
+        machine or MachineConfig(),
+        sim or SimulationConfig(),
+    )
+    return stats
+
+
+_RESULT_HITS = obs.counters.counter("harness.experiment.result_cache.hits")
+_RESULT_MISSES = obs.counters.counter(
+    "harness.experiment.result_cache.misses"
+)
 
 
 def baseline_cache_stats() -> Dict[str, int]:
@@ -211,6 +272,44 @@ def run_experiment(
     energy = energy or EnergyConfig()
     selection = selection or SelectionConfig()
     sim = sim or SimulationConfig()
+
+    # Whole-result persistent cache: an experiment is a deterministic
+    # function of workload content + configuration, so a warm cache
+    # answers repeat sweep cells without simulating anything.
+    disk = simcache.get_cache()
+    material: Optional[Dict[str, object]] = None
+    if disk is not None:
+        run_fp = get_program(benchmark, run_input).fingerprint()
+        profile_fp = (
+            run_fp
+            if profile_input == run_input
+            else get_program(benchmark, profile_input).fingerprint()
+        )
+        material = {
+            "kind": "experiment",
+            "benchmark": benchmark,
+            "target": target.label,
+            "profile_input": profile_input,
+            "run_input": run_input,
+            "run_program": run_fp,
+            "profile_program": profile_fp,
+            "machine": machine.fingerprint,
+            "energy": energy.fingerprint,
+            "selection": selection.fingerprint,
+            "simulation": sim.fingerprint,
+            "branch_pthreads": include_branch_pthreads,
+        }
+        cached = disk.get(material)
+        if isinstance(cached, ExperimentResult):
+            _RESULT_HITS.add()
+            obs.log_event(
+                "experiment_cached",
+                benchmark=benchmark,
+                target=target.label,
+            )
+            return cached
+        _RESULT_MISSES.add()
+
     model = EnergyModel(energy, machine)
     phase_seconds: Dict[str, float] = {}
 
@@ -305,7 +404,7 @@ def run_experiment(
             cache=baseline_cache_stats(),
         )
     phase_seconds["total"] = sp_total.wall_s
-    return ExperimentResult(
+    experiment = ExperimentResult(
         benchmark=benchmark,
         target=target,
         baseline=baseline,
@@ -314,3 +413,6 @@ def run_experiment(
         metrics=metrics,
         phase_seconds=phase_seconds,
     )
+    if disk is not None and material is not None:
+        disk.put(material, experiment)
+    return experiment

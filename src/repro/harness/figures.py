@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EnergyConfig, MachineConfig, SelectionConfig
 from repro.cpu.stats import BREAKDOWN_CATEGORIES
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.experiment import ExperimentResult
+from repro.harness.parallel import ExperimentJob, run_experiments
 from repro.harness.report import format_table, geometric_mean_pct
 from repro.pthsel.targets import Target
 from repro.workloads.registry import BENCHMARK_NAMES
@@ -99,21 +100,30 @@ def _collect(
     energy: Optional[EnergyConfig] = None,
     selection: Optional[SelectionConfig] = None,
     with_stacks: bool = True,
+    jobs: Optional[int] = None,
 ) -> FigureData:
+    grid = [
+        ExperimentJob(
+            benchmark,
+            target=target,
+            profile_input=profile_input,
+            machine=machine,
+            energy=energy,
+            selection=selection,
+        )
+        for benchmark in benchmarks
+        for target in targets
+    ]
+    results = run_experiments(grid, n_jobs=jobs)
     data = FigureData()
-    for benchmark in benchmarks:
-        first = True
-        for target in targets:
-            result = run_experiment(
-                benchmark,
-                target=target,
-                profile_input=profile_input,
-                machine=machine,
-                energy=energy,
-                selection=selection,
-            )
-            data.rows.append(result_row(result))
-            if with_stacks:
+    by_benchmark: Dict[str, List[ExperimentResult]] = {}
+    for job, result in zip(grid, results):
+        data.rows.append(result_row(result))
+        by_benchmark.setdefault(job.benchmark, []).append(result)
+    if with_stacks:
+        for benchmark in benchmarks:
+            first = True
+            for result in by_benchmark.get(benchmark, ()):
                 if first:
                     data.latency_stacks.append(
                         {"benchmark": benchmark, "run": "N",
@@ -125,11 +135,11 @@ def _collect(
                     )
                     first = False
                 data.latency_stacks.append(
-                    {"benchmark": benchmark, "run": target.label,
+                    {"benchmark": benchmark, "run": result.target.label,
                      **_latency_stack(result, "optimized")}
                 )
                 data.energy_stacks.append(
-                    {"benchmark": benchmark, "run": target.label,
+                    {"benchmark": benchmark, "run": result.target.label,
                      **_energy_stack(result, "optimized")}
                 )
     return data
@@ -144,11 +154,12 @@ def figure2(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     machine: Optional[MachineConfig] = None,
     energy: Optional[EnergyConfig] = None,
+    jobs: Optional[int] = None,
 ) -> FigureData:
     """Latency and energy breakdowns for unoptimized execution and
     original-PTHSEL (energy-blind, flat-cost) pre-execution."""
     return _collect(benchmarks, (Target.ORIGINAL,), machine=machine,
-                    energy=energy)
+                    energy=energy, jobs=jobs)
 
 
 # --------------------------------------------------------------------- #
@@ -166,9 +177,11 @@ def figure3(
     ),
     machine: Optional[MachineConfig] = None,
     energy: Optional[EnergyConfig] = None,
+    jobs: Optional[int] = None,
 ) -> FigureData:
     """The paper's central study: O/L/E/P p-threads across the suite."""
-    return _collect(benchmarks, targets, machine=machine, energy=energy)
+    return _collect(benchmarks, targets, machine=machine, energy=energy,
+                    jobs=jobs)
 
 
 # --------------------------------------------------------------------- #
@@ -179,11 +192,12 @@ def figure3(
 def figure4(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+    jobs: Optional[int] = None,
 ) -> FigureData:
     """Realistic profiling: p-threads selected from "ref" profiles drive
     "train" runs."""
     return _collect(benchmarks, targets, profile_input="ref",
-                    with_stacks=False)
+                    with_stacks=False, jobs=jobs)
 
 
 # --------------------------------------------------------------------- #
@@ -194,6 +208,7 @@ def figure4(
 def table3(
     benchmarks: Sequence[str] = TABLE3_BENCHMARKS,
     target: Target = Target.LATENCY,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Actual / predicted ratios for latency, energy, and ED reductions.
 
@@ -201,9 +216,12 @@ def table3(
     well; below 1 means over-estimation (the paper reports 0.64-0.93 for
     latency with the criticality model).
     """
+    grid = [
+        ExperimentJob(benchmark, target=target) for benchmark in benchmarks
+    ]
+    results = run_experiments(grid, n_jobs=jobs)
     rows: List[Dict[str, object]] = []
-    for benchmark in benchmarks:
-        result = run_experiment(benchmark, target=target)
+    for benchmark, result in zip(benchmarks, results):
         predicted = result.selection.predicted
         base = result.baseline
         opt = result.optimized
@@ -245,42 +263,58 @@ def table3(
 # --------------------------------------------------------------------- #
 
 
+def _sweep(
+    grid: List[ExperimentJob], jobs: Optional[int]
+) -> List[Dict[str, object]]:
+    """Run a tagged job grid and return rows with the tag columns."""
+    rows: List[Dict[str, object]] = []
+    for job, result in zip(grid, run_experiments(grid, n_jobs=jobs)):
+        row = result_row(result)
+        row.update(job.tag)
+        rows.append(row)
+    return rows
+
+
 def figure5_idle(
     benchmarks: Sequence[str] = FIG5_IDLE_BENCHMARKS,
     factors: Sequence[float] = (0.0, 0.05, 0.10),
     targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Idle energy factor sweep (Figure 5 top)."""
-    rows: List[Dict[str, object]] = []
-    for factor in factors:
-        energy = EnergyConfig().with_idle_factor(factor)
-        for benchmark in benchmarks:
-            for target in targets:
-                result = run_experiment(benchmark, target=target,
-                                        energy=energy)
-                row = result_row(result)
-                row["idle_factor"] = factor
-                rows.append(row)
-    return rows
+    grid = [
+        ExperimentJob(
+            benchmark,
+            target=target,
+            energy=EnergyConfig().with_idle_factor(factor),
+            tag={"idle_factor": factor},
+        )
+        for factor in factors
+        for benchmark in benchmarks
+        for target in targets
+    ]
+    return _sweep(grid, jobs)
 
 
 def figure5_memory_latency(
     benchmarks: Sequence[str] = FIG5_MEMLAT_BENCHMARKS,
     latencies: Sequence[int] = (100, 200, 300),
     targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Memory latency sweep (Figure 5 middle)."""
-    rows: List[Dict[str, object]] = []
-    for latency in latencies:
-        machine = MachineConfig().with_memory_latency(latency)
-        for benchmark in benchmarks:
-            for target in targets:
-                result = run_experiment(benchmark, target=target,
-                                        machine=machine)
-                row = result_row(result)
-                row["memory_latency"] = latency
-                rows.append(row)
-    return rows
+    grid = [
+        ExperimentJob(
+            benchmark,
+            target=target,
+            machine=MachineConfig().with_memory_latency(latency),
+            tag={"memory_latency": latency},
+        )
+        for latency in latencies
+        for benchmark in benchmarks
+        for target in targets
+    ]
+    return _sweep(grid, jobs)
 
 
 def figure5_l2_size(
@@ -291,17 +325,18 @@ def figure5_l2_size(
         (512 * 1024, 15),
     ),
     targets: Sequence[Target] = (Target.LATENCY, Target.ENERGY, Target.ED),
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """L2 size/latency sweep (Figure 5 bottom)."""
-    rows: List[Dict[str, object]] = []
-    for size_bytes, hit_latency in sizes:
-        machine = MachineConfig().scaled_l2(size_bytes, hit_latency)
-        for benchmark in benchmarks:
-            for target in targets:
-                result = run_experiment(benchmark, target=target,
-                                        machine=machine)
-                row = result_row(result)
-                row["l2_kb"] = size_bytes // 1024
-                row["l2_latency"] = hit_latency
-                rows.append(row)
-    return rows
+    grid = [
+        ExperimentJob(
+            benchmark,
+            target=target,
+            machine=MachineConfig().scaled_l2(size_bytes, hit_latency),
+            tag={"l2_kb": size_bytes // 1024, "l2_latency": hit_latency},
+        )
+        for size_bytes, hit_latency in sizes
+        for benchmark in benchmarks
+        for target in targets
+    ]
+    return _sweep(grid, jobs)

@@ -1,0 +1,212 @@
+"""Parallel experiment engine.
+
+Every paper figure is a grid of *independent* experiments -- benchmark x
+target x sweep point -- so the harness fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+- ``jobs=1`` (or a single-job grid) preserves the in-process sequential
+  path exactly: no pool, no pickling, byte-identical behavior to the
+  pre-parallel harness.
+- ``jobs=N`` dispatches whole experiments to worker processes.  The
+  simulators are deterministic, so results are bit-identical to the
+  sequential path regardless of worker count or completion order
+  (results are returned in submission order).
+- Identical baseline simulations are **deduplicated before dispatch**:
+  a sweep that reuses one baseline across many targets warms it exactly
+  once (through :mod:`repro.harness.simcache`) instead of simulating it
+  concurrently in several workers.
+- Worker telemetry is not dropped: each job returns the
+  :mod:`repro.obs` counter delta it produced, which the parent merges
+  into its own registry so run manifests account for all work done.
+
+The worker count resolves as: explicit argument > ``REPRO_JOBS``
+environment variable > ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.config import (
+    EnergyConfig,
+    MachineConfig,
+    SelectionConfig,
+    SimulationConfig,
+)
+from repro.harness import simcache
+from repro.harness.experiment import (
+    ExperimentResult,
+    run_experiment,
+    warm_baseline,
+)
+from repro.pthsel.targets import Target
+
+_JOBS_DISPATCHED = obs.counters.counter("harness.parallel.jobs_dispatched")
+_BASELINES_DEDUPED = obs.counters.counter(
+    "harness.parallel.baselines_deduped"
+)
+_POOLS_STARTED = obs.counters.counter("harness.parallel.pools_started")
+
+
+@dataclass
+class ExperimentJob:
+    """One unit of work for the engine: the arguments of
+    :func:`repro.harness.experiment.run_experiment`, plus an arbitrary
+    ``tag`` of extra row columns (e.g. the sweep point that produced it).
+    """
+
+    benchmark: str
+    target: Target = Target.LATENCY
+    profile_input: str = "train"
+    run_input: str = "train"
+    machine: Optional[MachineConfig] = None
+    energy: Optional[EnergyConfig] = None
+    selection: Optional[SelectionConfig] = None
+    sim: Optional[SimulationConfig] = None
+    include_branch_pthreads: bool = False
+    tag: Dict[str, object] = field(default_factory=dict)
+
+    def run(self) -> ExperimentResult:
+        return run_experiment(
+            self.benchmark,
+            target=self.target,
+            profile_input=self.profile_input,
+            run_input=self.run_input,
+            machine=self.machine,
+            energy=self.energy,
+            selection=self.selection,
+            sim=self.sim,
+            include_branch_pthreads=self.include_branch_pthreads,
+        )
+
+    def baseline_keys(
+        self,
+    ) -> List[Tuple[str, str, MachineConfig, SimulationConfig]]:
+        """The baseline simulations this job will need (run + profile)."""
+        machine = self.machine or MachineConfig()
+        sim = self.sim or SimulationConfig()
+        keys = [(self.benchmark, self.run_input, machine, sim)]
+        if self.profile_input != self.run_input:
+            keys.append((self.benchmark, self.profile_input, machine, sim))
+        return keys
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+# --------------------------------------------------------------------- #
+# Worker side.  Module-level functions so they pickle under any start
+# method; the initializer re-applies the parent's cache and log config
+# (fork inherits it, spawn does not).
+# --------------------------------------------------------------------- #
+
+
+def _worker_init(cache_dir: Optional[str], cache_enabled: bool,
+                 log_level: str) -> None:
+    simcache.configure(cache_dir=cache_dir, enabled=cache_enabled)
+    if log_level != "off":
+        obs.configure(level=log_level)
+
+
+def _worker_experiment(
+    job: ExperimentJob,
+) -> Tuple[ExperimentResult, Dict[str, float]]:
+    before = obs.counters.snapshot()
+    result = job.run()
+    return result, obs.counters.delta_since(before)
+
+
+def _worker_warm(
+    key: Tuple[str, str, MachineConfig, SimulationConfig],
+) -> Dict[str, float]:
+    benchmark, input_name, machine, sim = key
+    before = obs.counters.snapshot()
+    warm_baseline(benchmark, input_name, machine=machine, sim=sim)
+    return obs.counters.delta_since(before)
+
+
+# --------------------------------------------------------------------- #
+# Parent side.
+# --------------------------------------------------------------------- #
+
+
+def _dedupe_baselines(
+    jobs: Sequence[ExperimentJob],
+) -> List[Tuple[str, str, MachineConfig, SimulationConfig]]:
+    """Unique baseline sims the grid needs, in first-appearance order;
+    only keys needed by more than one job are worth pre-warming."""
+    counts: Dict[Tuple, int] = {}
+    order: List[Tuple[str, str, MachineConfig, SimulationConfig]] = []
+    for job in jobs:
+        for key in job.baseline_keys():
+            if key not in counts:
+                order.append(key)
+            counts[key] = counts.get(key, 0) + 1
+    shared = [key for key in order if counts[key] > 1]
+    if shared:
+        _BASELINES_DEDUPED.add(
+            sum(counts[key] - 1 for key in shared)
+        )
+    return shared
+
+
+def run_experiments(
+    jobs: Sequence[ExperimentJob],
+    n_jobs: Optional[int] = None,
+) -> List[ExperimentResult]:
+    """Run a grid of experiments, in parallel when ``n_jobs > 1``.
+
+    Results come back in submission order and are bit-identical to the
+    sequential path (the grid cells are independent deterministic
+    simulations).  Worker counter deltas are merged into this process's
+    :data:`repro.obs.counters` registry.
+    """
+    jobs = list(jobs)
+    n = min(resolve_jobs(n_jobs), max(1, len(jobs)))
+    if n <= 1 or len(jobs) <= 1:
+        return [job.run() for job in jobs]
+
+    cache = simcache.get_cache()
+    _POOLS_STARTED.add()
+    _JOBS_DISPATCHED.add(len(jobs))
+    with obs.span("parallel_grid", jobs=len(jobs), workers=n):
+        with ProcessPoolExecutor(
+            max_workers=n,
+            initializer=_worker_init,
+            initargs=(
+                cache.root if cache is not None else None,
+                cache is not None,
+                obs.current_level(),
+            ),
+        ) as pool:
+            # Phase 1: warm shared baselines once each.  Without a
+            # persistent cache there is no medium to share them through,
+            # so skip straight to dispatch.
+            if cache is not None:
+                shared = _dedupe_baselines(jobs)
+                if shared:
+                    for delta in pool.map(_worker_warm, shared):
+                        obs.counters.merge(delta)
+            # Phase 2: fan out the experiments.
+            results: List[ExperimentResult] = []
+            for result, delta in pool.map(_worker_experiment, jobs):
+                obs.counters.merge(delta)
+                results.append(result)
+    return results

@@ -1,0 +1,319 @@
+"""Persistent, content-addressed simulation result cache.
+
+Every cell of a paper figure is a deterministic function of (workload
+content, machine/energy/selection/simulation configuration, simulator
+code).  The cache stores those results on disk so sweeps and repeat CLI
+invocations never re-simulate work they have already done:
+
+- **Keys** are SHA-256 digests of a canonical JSON rendering of the
+  caller's key material plus the cache schema version and a fingerprint
+  of the simulator source files.  Editing the simulator or bumping the
+  schema silently invalidates every old entry (their keys can no longer
+  be produced), so stale results cannot leak across code versions.
+- **Entries** are pickle envelopes carrying the versions and key digest
+  they were written under; both are re-checked on load, so a reused
+  cache directory never returns a payload written by different code.
+- **Writes** go to a temporary file in the same directory followed by
+  :func:`os.replace`, making concurrent writers (the process-pool
+  workers of :mod:`repro.harness.parallel`) safe: readers only ever see
+  complete entries, and the last writer of identical content wins.
+- **Corruption tolerance**: a truncated or garbage entry is a miss (and
+  is evicted), never an exception.
+
+The default location is ``~/.cache/repro-sim`` (override with
+``REPRO_CACHE_DIR`` or the CLI ``--cache-dir``); ``REPRO_CACHE=0``
+disables caching process-wide.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Iterator, Optional
+
+from repro import obs
+from repro.obs.manifest import stable_json
+
+#: Bump when the envelope layout or the meaning of cached payloads changes.
+SCHEMA_VERSION = 1
+
+#: Source files whose content defines the simulation semantics.  Editing
+#: any of them changes :func:`code_version` and invalidates the cache.
+_CODE_VERSION_MODULES = (
+    "repro.cpu.pipeline",
+    "repro.cpu.stats",
+    "repro.cpu.pthreads",
+    "repro.memory.hierarchy",
+    "repro.memory.cache",
+    "repro.memory.mshr",
+    "repro.branch.predictors",
+    "repro.branch.btb",
+    "repro.energy.wattch",
+    "repro.frontend.interpreter",
+    "repro.ddmt.augment",
+    "repro.pthsel.framework",
+    "repro.harness.experiment",
+)
+
+_ENTRY_SUFFIX = ".pkl"
+
+_HITS = obs.counters.counter("harness.simcache.hits")
+_MISSES = obs.counters.counter("harness.simcache.misses")
+_WRITES = obs.counters.counter("harness.simcache.writes")
+_EVICTIONS = obs.counters.counter("harness.simcache.evictions")
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """A short fingerprint of the simulator's source code.
+
+    Hashes the bytes of the modules in :data:`_CODE_VERSION_MODULES` plus
+    the package version, so cached results survive only as long as the
+    code that produced them.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import importlib
+
+        from repro import __version__
+
+        digest = hashlib.sha256(__version__.encode())
+        for name in _CODE_VERSION_MODULES:
+            module = importlib.import_module(name)
+            path = getattr(module, "__file__", None)
+            if path and os.path.exists(path):
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def default_cache_dir() -> str:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sim``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(
+        os.environ.get("XDG_CACHE_HOME")
+        or os.path.join(os.path.expanduser("~"), ".cache"),
+        "repro-sim",
+    )
+
+
+def cache_enabled() -> bool:
+    """Caching is on unless ``REPRO_CACHE`` is ``0``/``off``/``false``."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+class SimCache:
+    """One on-disk cache rooted at ``root`` (created lazily on first put)."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+
+    # ----------------------------------------------------------------- #
+
+    def key(self, material: Any) -> str:
+        """Content-addressed key: SHA-256 over canonical JSON of the key
+        material, the schema version, and the simulator code version."""
+        payload = stable_json(
+            {
+                "schema": SCHEMA_VERSION,
+                "code": code_version(),
+                "material": material,
+            }
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + _ENTRY_SUFFIX)
+
+    # ----------------------------------------------------------------- #
+
+    def get(self, material: Any) -> Optional[Any]:
+        """The cached payload for ``material``, or ``None`` on a miss.
+
+        Any failure to read or validate the entry -- truncation, garbage,
+        an envelope written under other versions -- counts as a miss; the
+        bad entry is evicted so it cannot fail again.
+        """
+        key = self.key(material)
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+                or envelope.get("code") != code_version()
+                or envelope.get("key") != key
+            ):
+                raise ValueError("stale or foreign cache envelope")
+            payload = envelope["payload"]
+        except FileNotFoundError:
+            _MISSES.add()
+            return None
+        except Exception:
+            # Corrupt, truncated, or version-skewed entry: drop it.
+            self._evict(path)
+            _MISSES.add()
+            return None
+        _HITS.add()
+        return payload
+
+    def put(self, material: Any, payload: Any) -> str:
+        """Store ``payload`` under ``material``'s key; returns the key.
+
+        Written atomically (temp file + ``os.replace``) so concurrent
+        writers and crashing processes can never publish a torn entry.
+        """
+        key = self.key(material)
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "code": code_version(),
+            "key": key,
+            "payload": payload,
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=_ENTRY_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        _WRITES.add()
+        return key
+
+    # ----------------------------------------------------------------- #
+
+    def _evict(self, path: str) -> None:
+        try:
+            os.unlink(path)
+            _EVICTIONS.add()
+        except OSError:
+            pass
+
+    def _entry_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(_ENTRY_SUFFIX) and not name.startswith(
+                    ".tmp-"
+                ):
+                    yield os.path.join(dirpath, name)
+
+    def stats(self) -> Dict[str, object]:
+        """Occupancy of the directory plus this process's hit/miss/evict
+        counts."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "dir": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "schema_version": SCHEMA_VERSION,
+            "code_version": code_version(),
+            "hits": _HITS.value,
+            "misses": _MISSES.value,
+            "writes": _WRITES.value,
+            "evictions": _EVICTIONS.value,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        _EVICTIONS.add(removed)
+        return removed
+
+
+# --------------------------------------------------------------------- #
+# The process-wide cache the harness consults.  ``configure`` swaps the
+# directory (CLI --cache-dir) or disables caching entirely; ``None``
+# means "enabled at the default location" unless REPRO_CACHE says no.
+# --------------------------------------------------------------------- #
+
+_active: Optional[SimCache] = None
+_enabled_override: Optional[bool] = None
+
+
+def configure(
+    cache_dir: Optional[str] = None, enabled: Optional[bool] = None
+) -> None:
+    """Set the process-wide cache directory and/or enabled state.
+
+    An explicit ``cache_dir`` implies ``enabled=True`` unless overridden;
+    an explicit ``enabled`` beats the ``REPRO_CACHE`` environment switch.
+    """
+    global _active, _enabled_override
+    if cache_dir is not None:
+        _active = SimCache(cache_dir)
+        if enabled is None:
+            enabled = True
+    if enabled is not None:
+        _enabled_override = enabled
+
+
+def reset() -> None:
+    """Back to defaults: environment-controlled, default directory."""
+    global _active, _enabled_override
+    _active = None
+    _enabled_override = None
+
+
+@contextlib.contextmanager
+def disabled() -> Iterator[None]:
+    """Temporarily disable caching (the bench harness measures the
+    uncached path this way)."""
+    global _enabled_override
+    previous = _enabled_override
+    _enabled_override = False
+    try:
+        yield
+    finally:
+        _enabled_override = previous
+
+
+def get_cache() -> Optional[SimCache]:
+    """The active cache, or ``None`` when caching is disabled."""
+    global _active
+    enabled = (
+        _enabled_override
+        if _enabled_override is not None
+        else cache_enabled()
+    )
+    if not enabled:
+        return None
+    if _active is None:
+        _active = SimCache()
+    return _active

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -152,6 +153,35 @@ class Program:
     def static_loads(self) -> List[StaticInst]:
         """All static load instructions, in program order."""
         return [inst for inst in self.instructions if inst.op.is_load]
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the program *content*: code, data image, entry, and
+        initial registers (the name is deliberately excluded).
+
+        This is the workload identity caches key on, so two different
+        programs registered under the same benchmark name can never alias,
+        and identical programs under different names can share work.  The
+        digest is memoized; programs are treated as immutable once built.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            hasher = hashlib.sha256()
+            hasher.update(f"entry:{self.entry};".encode())
+            for inst in self.instructions:
+                hasher.update(
+                    (
+                        f"{inst.pc},{inst.op.value},{inst.rd},{inst.rs1},"
+                        f"{inst.rs2},{inst.imm},{inst.target},"
+                        f"{inst.annotation};"
+                    ).encode()
+                )
+            for addr in sorted(self.data):
+                hasher.update(f"d{addr}:{self.data[addr]};".encode())
+            for reg in sorted(self.initial_regs):
+                hasher.update(f"r{reg}:{self.initial_regs[reg]};".encode())
+            cached = hasher.hexdigest()
+            self._fingerprint = cached
+        return cached
 
     def listing(self) -> str:
         """A human-readable assembly listing."""

@@ -26,6 +26,7 @@ from repro.obs.log import (
     LEVELS,
     Span,
     configure,
+    current_level,
     current_span_path,
     is_enabled,
     log_event,
@@ -38,6 +39,7 @@ from repro.obs.metrics import (
     Gauge,
     MetricsRegistry,
     counters,
+    snapshot_delta,
 )
 
 __all__ = [
@@ -51,10 +53,12 @@ __all__ = [
     "config_fingerprint",
     "configure",
     "counters",
+    "current_level",
     "current_span_path",
     "is_enabled",
     "log_event",
     "reset",
+    "snapshot_delta",
     "span",
     "stable_json",
 ]

@@ -80,6 +80,14 @@ def is_enabled(level: str = "info") -> bool:
     return LEVELS.get(level, 0) >= _state.threshold
 
 
+def current_level() -> str:
+    """The active threshold's name (worker processes re-apply it)."""
+    for name, value in LEVELS.items():
+        if value == _state.threshold:
+            return name
+    return "off"
+
+
 def current_span_path() -> str:
     """Slash-joined names of the spans open on this thread ('' if none)."""
     stack = getattr(_local, "stack", None)

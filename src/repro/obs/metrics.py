@@ -16,7 +16,7 @@ what its phases actually did.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Union
+from typing import Dict, Mapping, Union
 
 
 class Counter:
@@ -80,6 +80,40 @@ class MetricsRegistry:
             for name in sorted(self._metrics)
         }
 
+    def delta_since(self, before: Mapping[str, float]) -> Dict[str, float]:
+        """Type-aware change since a :meth:`snapshot`: counters report the
+        difference, gauges report their current value (they are last-value
+        metrics, so "delta" has no meaning).  Zero entries are dropped."""
+        out: Dict[str, float] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Gauge):
+                if metric.value:
+                    out[name] = metric.value
+            else:
+                change = metric.value - before.get(name, 0)
+                if change:
+                    out[name] = change
+        return out
+
+    def merge(self, values: Mapping[str, float]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counter values are *added* (the argument is treated as a delta, as
+        produced by :func:`snapshot_delta`); gauge values are *set*
+        (last-writer-wins).  Names not yet registered here become counters,
+        the common case for worker-process telemetry arriving before the
+        parent touched the same code path.
+        """
+        for name, value in values.items():
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self.counter(name)
+            if isinstance(metric, Gauge):
+                metric.set(value)
+            else:
+                metric.add(value)
+
     def reset(self) -> None:
         """Zero every metric but keep registrations (and cached refs) alive."""
         with self._lock:
@@ -90,6 +124,24 @@ class MetricsRegistry:
         """Drop all registrations (invalidates cached references)."""
         with self._lock:
             self._metrics.clear()
+
+
+def snapshot_delta(
+    before: Mapping[str, float], after: Mapping[str, float]
+) -> Dict[str, float]:
+    """The per-name difference between two :meth:`MetricsRegistry.snapshot`
+    calls, suitable for :meth:`MetricsRegistry.merge`.
+
+    Counters that did not move are dropped so merges stay small; names new
+    in ``after`` count from zero.  (Gauges are last-value metrics, so their
+    "delta" is simply the ``after`` value.)
+    """
+    delta: Dict[str, float] = {}
+    for name, value in after.items():
+        change = value - before.get(name, 0)
+        if change:
+            delta[name] = change
+    return delta
 
 
 #: The process-wide default registry all repro instrumentation uses.

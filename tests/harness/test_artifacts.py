@@ -104,7 +104,7 @@ def test_figure3_out_emits_rows_with_phase_timings(tmp_path, capsys,
 
     monkeypatch.setattr(
         figures, "figure3",
-        lambda benchmarks=None: FigureData(rows=list(rows)),
+        lambda benchmarks=None, jobs=None: FigureData(rows=list(rows)),
     )
     out = tmp_path / "fig3"
     assert main(["figure3", "--benchmarks", "gap", "--json",
@@ -144,7 +144,15 @@ class _FakeStats:
 def test_baseline_cache_is_lru_not_fifo(monkeypatch):
     experiment.clear_baseline_cache()
     monkeypatch.setattr(experiment, "_BASELINE_CACHE_LIMIT", 2)
-    monkeypatch.setattr(experiment, "get_program", lambda b, i: b)
+    class _FakeProgram(str):
+        # The baseline cache keys on workload *content*; here each
+        # name stands in for distinct content.
+        def fingerprint(self):
+            return str(self)
+
+    monkeypatch.setattr(
+        experiment, "get_program", lambda b, i: _FakeProgram(b)
+    )
     monkeypatch.setattr(
         experiment, "interpret",
         lambda program, max_instructions: f"trace-{program}",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, snapshot_delta
 
 
 def test_counter_get_or_create_identity():
@@ -54,3 +54,53 @@ def test_kind_conflict_raises():
     reg.counter("x")
     with pytest.raises(TypeError):
         reg.gauge("x")
+
+
+def test_delta_since_counters_diff_gauges_report_current():
+    reg = MetricsRegistry()
+    reg.counter("sims").add(3)
+    reg.gauge("rate").set(100.0)
+    before = reg.snapshot()
+    reg.counter("sims").add(2)
+    reg.gauge("rate").set(250.0)
+    delta = reg.delta_since(before)
+    # Counter: only the change.  Gauge: its current (last) value, not
+    # the numeric difference -- a reused worker's rate gauge must not
+    # merge as "rate went up by 150".
+    assert delta == {"sims": 2, "rate": 250.0}
+
+
+def test_delta_since_drops_unchanged():
+    reg = MetricsRegistry()
+    reg.counter("still").add(4)
+    before = reg.snapshot()
+    assert reg.delta_since(before) == {}
+
+
+def test_merge_adds_counters_and_sets_gauges():
+    reg = MetricsRegistry()
+    reg.counter("sims").add(1)
+    reg.gauge("rate").set(10.0)
+    reg.merge({"sims": 5, "rate": 99.0, "fresh.counter": 2})
+    snap = reg.snapshot()
+    assert snap["sims"] == 6
+    assert snap["rate"] == 99.0
+    # Unknown names become counters (worker saw a code path the parent
+    # has not touched yet) and merge additively thereafter.
+    assert snap["fresh.counter"] == 2
+    reg.merge({"fresh.counter": 3})
+    assert reg.snapshot()["fresh.counter"] == 5
+
+
+def test_snapshot_delta_roundtrip_through_merge():
+    worker = MetricsRegistry()
+    before = worker.snapshot()
+    worker.counter("a").add(7)
+    worker.counter("b").add(0)  # never moved: dropped from the delta
+    delta = snapshot_delta(before, worker.snapshot())
+    assert delta == {"a": 7}
+
+    parent = MetricsRegistry()
+    parent.counter("a").add(1)
+    parent.merge(delta)
+    assert parent.snapshot()["a"] == 8

@@ -1,8 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.harness import simcache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_simcache():
+    """CLI cache flags mutate process-wide state; restore defaults."""
+    yield
+    simcache.reset()
 
 
 def test_list_prints_benchmarks(capsys):
@@ -30,3 +40,61 @@ def test_rejects_unknown_target():
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cache_stats_reports_configured_dir(tmp_path, capsys):
+    cache_dir = str(tmp_path / "simcache")
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["dir"] == cache_dir
+    assert payload["entries"] == 0
+    assert payload["schema_version"] == simcache.SCHEMA_VERSION
+
+
+def test_cache_clear_removes_entries(tmp_path, capsys):
+    cache_dir = str(tmp_path / "simcache")
+    cache = simcache.SimCache(cache_dir)
+    cache.put({"k": 1}, "payload")
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 entries" in out
+    assert cache.stats()["entries"] == 0
+
+
+def test_run_with_cache_dir_populates_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "simcache")
+    assert main(["run", "gap", "--quiet", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] > 0
+
+
+def test_no_sim_cache_flag_disables_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "simcache")
+    assert main(
+        ["run", "gap", "--quiet", "--cache-dir", cache_dir,
+         "--no-sim-cache"]
+    ) == 0
+    capsys.readouterr()
+    simcache.reset()
+    assert simcache.SimCache(cache_dir).stats()["entries"] == 0
+
+
+def test_bench_quick_no_grid(capsys):
+    assert main(["bench", "--quick", "--no-grid"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["quick"] is True
+    benchmarks = [row["benchmark"] for row in payload["simulator"]]
+    assert benchmarks == ["gcc", "twolf"]
+    assert all(row["cycles_per_sec"] > 0 for row in payload["simulator"])
+
+
+def test_bench_writes_json(tmp_path, capsys):
+    out_file = str(tmp_path / "bench.json")
+    assert main(
+        ["bench", "--quick", "--no-grid", "--out-file", out_file]
+    ) == 0
+    capsys.readouterr()
+    payload = json.loads(open(out_file).read())
+    assert payload["simulator"]
