@@ -23,33 +23,52 @@ Every evaluation command accepts the global observability flags:
   ``results.jsonl`` (one row per (benchmark, target)), and an
   appendable ``run_table.csv``.
 
-and the performance flags:
+the performance flags:
 
 - ``--jobs N``           worker processes for figure grids (default:
   ``REPRO_JOBS`` or ``os.cpu_count()``; ``1`` = fully sequential);
 - ``--cache-dir DIR``    persistent simulation cache location
   (default ``~/.cache/repro-sim``);
-- ``--no-sim-cache``     disable the persistent cache for this run.
+- ``--no-sim-cache``     disable the persistent cache for this run;
+
+and the robustness flags:
+
+- ``--retries N``        attempts per grid cell before it becomes a
+  failure row (default 3);
+- ``--job-timeout S``    per-job wall-clock timeout in seconds (the
+  worker pool is rebuilt around hung cells);
+- ``--resume``           with ``--out DIR``, skip cells already recorded
+  in ``DIR/journal.jsonl`` by a previous (interrupted) run;
+- ``--inject-fault SITE:prob[:seed]``  deterministically inject faults
+  (repeatable; see ``repro.faults`` for sites).
+
+``repro chaos`` runs a grid twice -- fault-free and under injected
+faults -- and reports whether recovery was complete, bit-identical, and
+fully accounted.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from typing import Dict, List, Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.config import (
     EnergyConfig,
     MachineConfig,
     SelectionConfig,
     SimulationConfig,
 )
+from repro.errors import ConfigError
 from repro.harness import figures, simcache
 from repro.harness.experiment import run_experiment
 from repro.harness.figures import result_row
+from repro.harness.journal import Journal
+from repro.harness.parallel import RetryPolicy, engine_options
 from repro.harness.report import (
     format_table,
     render_json_lines,
@@ -101,6 +120,36 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent simulation cache for this run",
     )
+    obs_flags.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per grid cell before it degrades to a failure "
+        "row (default 3)",
+    )
+    obs_flags.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout; hung workers are killed and "
+        "their cells retried (default: none)",
+    )
+    obs_flags.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --out DIR: skip cells already completed in "
+        "DIR/journal.jsonl (from a previous interrupted run)",
+    )
+    obs_flags.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SITE:PROB[:SEED]",
+        help="deterministically inject faults at SITE with probability "
+        "PROB (repeatable; sites: " + ", ".join(faults.SITES) + ")",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +200,24 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument("--write", action="store_true",
                        help="write BENCH_<date>.json (implied by "
                        "--out-file)")
+
+    chaos = sub.add_parser(
+        "chaos", parents=[obs_flags],
+        help="prove fault recovery: run a grid fault-free and under "
+        "injected faults, compare",
+    )
+    chaos.add_argument("--quick", action="store_true",
+                       help="small grid + a seed guaranteed to inject "
+                       "(CI smoke mode)")
+    chaos.add_argument("--benchmarks", nargs="*", default=None)
+    chaos.add_argument("--spec", action="append", default=None,
+                       metavar="SITE:PROB[:SEED]",
+                       help="fault spec(s) for the chaotic run "
+                       "(default worker.run:0.3)")
+    chaos.add_argument("--max-attempts", type=int, default=None,
+                       metavar="N",
+                       help="retry budget for the chaotic run "
+                       "(default 8)")
     return parser
 
 
@@ -169,19 +236,41 @@ def _write_artifacts(
     rows: List[Dict[str, object]],
     **extra: object,
 ) -> None:
-    """Write manifest/results/run-table artifacts when ``--out`` was given."""
+    """Write manifest/results/run-table artifacts when ``--out`` was given.
+
+    A partial grid is flagged ``degraded: true`` (any failure rows, or
+    recorded engine failures).  Artifact I/O failure -- ENOSPC, a
+    read-only directory, the ``manifest.write`` fault site -- is logged
+    and swallowed: the results were already printed, and dying while
+    writing provenance would turn a finished run into a failed one.
+    """
     if not args.out:
         return
-    writer = obs.RunWriter(
-        args.out,
-        command=args.command,
-        argv=list(argv) if argv is not None else sys.argv[1:],
-        configs=_default_configs(),
-        started=getattr(args, "_started", None),
-    )
-    for row in rows:
-        writer.add_row(row)
-    path = writer.finalize(counters=obs.counters.snapshot(), **extra)
+    degraded = any(row.get("failed") for row in rows)
+    extra.setdefault("degraded", degraded)
+    try:
+        faults.raise_os_if("manifest.write", key=args.command)
+        writer = obs.RunWriter(
+            args.out,
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            configs=_default_configs(),
+            started=getattr(args, "_started", None),
+        )
+        for row in rows:
+            writer.add_row(row)
+        path = writer.finalize(counters=obs.counters.snapshot(), **extra)
+    except OSError as exc:
+        obs.log_event(
+            "manifest_write_failed",
+            level="warning",
+            dir=args.out,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+        print(f"warning: could not write artifacts to {args.out}: {exc}",
+              file=sys.stderr)
+        return
     print(f"wrote {len(rows)} rows to {args.out} "
           f"(manifest: {path})", file=sys.stderr)
 
@@ -193,6 +282,13 @@ def _emit_rows(args: argparse.Namespace,
         print(render_json_lines(rows))
     else:
         print(format_table(rows, columns=visible_columns(rows) or None))
+
+
+#: Commands whose grids are journaled under ``--out`` for ``--resume``.
+#: ``bench`` is deliberately excluded: it times the *same* grid several
+#: ways, and serving later passes from a journal would void the
+#: measurement.
+_GRID_COMMANDS = ("figure2", "figure3", "figure4", "figure5", "table3")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -211,6 +307,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     jobs = getattr(args, "jobs", None)
 
+    if getattr(args, "inject_fault", None):
+        try:
+            faults.configure(args.inject_fault)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if getattr(args, "resume", False) and not getattr(args, "out", None):
+        print("error: --resume requires --out DIR", file=sys.stderr)
+        return 2
+
+    policy = RetryPolicy(
+        max_attempts=(
+            args.retries
+            if getattr(args, "retries", None)
+            else RetryPolicy.max_attempts
+        ),
+        timeout_s=getattr(args, "job_timeout", None),
+    )
+    journal = None
+    if getattr(args, "out", None) and args.command in _GRID_COMMANDS:
+        journal = Journal.for_run_dir(args.out)
+        if args.resume:
+            resumed = len(journal.load())
+            if resumed:
+                print(
+                    f"resuming: {resumed} cell(s) already completed in "
+                    f"{journal.path}",
+                    file=sys.stderr,
+                )
+        else:
+            journal.discard()
+
+    # SIGTERM gets the same clean shutdown as ^C: workers terminated and
+    # joined, journal already flushed, manifest marked interrupted.
+    def _on_sigterm(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
+
+    try:
+        with engine_options(policy=policy, journal=journal, degrade=True):
+            return _dispatch(args, argv, jobs)
+    except KeyboardInterrupt:
+        _write_artifacts(args, argv, [], interrupted=True)
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        # The fault plan is process-global; don't leak --inject-fault
+        # into a later in-process invocation (tests call main directly).
+        if getattr(args, "inject_fault", None):
+            faults.reset()
+
+
+def _dispatch(
+    args: argparse.Namespace,
+    argv: Optional[List[str]],
+    jobs: Optional[int],
+) -> int:
     if args.command == "cache":
         cache = simcache.get_cache() or simcache.SimCache(args.cache_dir)
         if args.action == "stats":
@@ -307,6 +465,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit_rows(args, rows)
         _write_artifacts(args, argv, rows)
         return 0
+
+    if args.command == "chaos":
+        from repro.harness.chaos import run_chaos
+
+        kwargs: Dict[str, object] = {
+            "benchmarks": args.benchmarks or None,
+            "specs": args.spec,
+            "jobs": jobs,
+            "timeout_s": args.job_timeout,
+            "quick": args.quick,
+        }
+        if args.max_attempts:
+            kwargs["max_attempts"] = args.max_attempts
+        report = run_chaos(**kwargs)  # type: ignore[arg-type]
+        print(json.dumps(report, indent=1, sort_keys=True))
+        _write_artifacts(
+            args,
+            argv,
+            [dict(row) for row in report["failed_cells"]],
+            chaos=report,
+        )
+        return 0 if report["ok"] else 1
 
     raise AssertionError("unreachable")  # pragma: no cover
 

@@ -21,6 +21,21 @@ from typing import Dict
 from repro.errors import ConfigError
 
 
+def _require(
+    owner: str, field_name: str, value: object, ok: bool, legal: str
+) -> None:
+    """Raise a :class:`ConfigError` naming the offending field and its
+    legal range -- the contract of every ``validate()`` below."""
+    if not ok:
+        raise ConfigError(
+            f"{owner}.{field_name} = {value!r} is invalid; legal: {legal}"
+        )
+
+
+def _power_of_two(n: int) -> bool:
+    return n >= 1 and not (n & (n - 1))
+
+
 class _Fingerprinted:
     """Mixin: short stable content hash for run-manifest provenance."""
 
@@ -57,6 +72,41 @@ class CacheConfig(_Fingerprinted):
     @property
     def n_sets(self) -> int:
         return self.size_bytes // (self.line_bytes * self.assoc)
+
+    def validate(self, owner: str = "CacheConfig") -> "CacheConfig":
+        """Field-by-field validation with named-field diagnostics.
+
+        ``__post_init__`` keeps obviously broken geometry from ever being
+        constructed; this re-checks with messages that name the offending
+        field and its legal range, so a bad sweep axis fails at experiment
+        start with an actionable error instead of deep in a worker.
+        """
+        _require(owner, "size_bytes", self.size_bytes, self.size_bytes >= 1, ">= 1")
+        _require(owner, "assoc", self.assoc, self.assoc >= 1, ">= 1")
+        _require(
+            owner,
+            "line_bytes",
+            self.line_bytes,
+            _power_of_two(self.line_bytes),
+            "a power of two >= 1",
+        )
+        _require(
+            owner,
+            "hit_latency",
+            self.hit_latency,
+            self.hit_latency >= 1,
+            ">= 1 cycle",
+        )
+        _require(
+            owner,
+            "size_bytes",
+            self.size_bytes,
+            _power_of_two(self.n_sets),
+            f"a size giving a power-of-two set count "
+            f"(got {self.n_sets} sets for assoc={self.assoc}, "
+            f"line_bytes={self.line_bytes})",
+        )
+        return self
 
 
 @dataclass(frozen=True)
@@ -115,6 +165,158 @@ class MachineConfig(_Fingerprinted):
             raise ConfigError("memory latency must be positive")
         if self.rob_entries < self.width:
             raise ConfigError("ROB must hold at least one fetch group")
+
+    def validate(self) -> "MachineConfig":
+        """Validate every field (and the cache sub-configs), raising a
+        :class:`ConfigError` that names the offending field and its legal
+        range.  Called at experiment start so misconfigured sweeps fail
+        before any simulation work is dispatched."""
+        owner = "MachineConfig"
+        _require(owner, "width", self.width, 1 <= self.width <= 64, "1..64")
+        _require(
+            owner,
+            "pipeline_stages",
+            self.pipeline_stages,
+            self.pipeline_stages >= 6,
+            ">= 6 (frontend depth must be positive)",
+        )
+        _require(
+            owner,
+            "commit_width",
+            self.commit_width,
+            self.commit_width >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "rob_entries",
+            self.rob_entries,
+            self.rob_entries >= self.width,
+            f">= width ({self.width}): the ROB must hold a full fetch group",
+        )
+        _require(
+            owner, "rs_entries", self.rs_entries, self.rs_entries >= 1, ">= 1"
+        )
+        _require(
+            owner,
+            "pthread_rs_reserve",
+            self.pthread_rs_reserve,
+            0 <= self.pthread_rs_reserve < self.rs_entries,
+            f"0..rs_entries-1 (rs_entries={self.rs_entries})",
+        )
+        _require(
+            owner,
+            "physical_registers",
+            self.physical_registers,
+            self.physical_registers >= self.rob_entries,
+            f">= rob_entries ({self.rob_entries})",
+        )
+        _require(
+            owner,
+            "thread_contexts",
+            self.thread_contexts,
+            self.thread_contexts >= 1,
+            ">= 1",
+        )
+        _require(
+            owner, "load_ports", self.load_ports, self.load_ports >= 1, ">= 1"
+        )
+        _require(
+            owner,
+            "store_ports",
+            self.store_ports,
+            self.store_ports >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "mshr_entries",
+            self.mshr_entries,
+            self.mshr_entries >= 1,
+            ">= 1",
+        )
+        _require(owner, "int_alus", self.int_alus, self.int_alus >= 1, ">= 1")
+        _require(
+            owner,
+            "mul_latency",
+            self.mul_latency,
+            self.mul_latency >= 1,
+            ">= 1 cycle",
+        )
+        _require(
+            owner,
+            "itlb_entries",
+            self.itlb_entries,
+            self.itlb_entries >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "dtlb_entries",
+            self.dtlb_entries,
+            self.dtlb_entries >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "page_bytes",
+            self.page_bytes,
+            _power_of_two(self.page_bytes),
+            "a power of two >= 1",
+        )
+        _require(
+            owner,
+            "tlb_miss_latency",
+            self.tlb_miss_latency,
+            self.tlb_miss_latency >= 0,
+            ">= 0 cycles",
+        )
+        _require(
+            owner,
+            "memory_latency",
+            self.memory_latency,
+            self.memory_latency >= 1,
+            ">= 1 cycle",
+        )
+        _require(
+            owner,
+            "bus_bytes",
+            self.bus_bytes,
+            _power_of_two(self.bus_bytes),
+            "a power of two >= 1",
+        )
+        _require(
+            owner,
+            "memory_bus_divisor",
+            self.memory_bus_divisor,
+            self.memory_bus_divisor >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "bpred_entries",
+            self.bpred_entries,
+            _power_of_two(self.bpred_entries),
+            "a power of two >= 1 (predictor tables are index-masked)",
+        )
+        _require(
+            owner,
+            "btb_entries",
+            self.btb_entries,
+            self.btb_entries >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "pthread_fetch_ipc",
+            self.pthread_fetch_ipc,
+            0.0 < self.pthread_fetch_ipc <= float(self.width),
+            f"in (0, width] (width={self.width})",
+        )
+        self.icache.validate("MachineConfig.icache")
+        self.dcache.validate("MachineConfig.dcache")
+        self.l2.validate("MachineConfig.l2")
+        return self
 
     @property
     def frontend_depth(self) -> int:
@@ -196,6 +398,63 @@ class EnergyConfig(_Fingerprinted):
                 f"structure shares must sum to ~1.0, got {total:.3f}"
             )
 
+    def validate(self) -> "EnergyConfig":
+        """Validate every field, naming the offender and its legal range."""
+        owner = "EnergyConfig"
+        _require(
+            owner,
+            "e_max_per_cycle",
+            self.e_max_per_cycle,
+            self.e_max_per_cycle > 0,
+            "> 0 joules",
+        )
+        _require(
+            owner,
+            "idle_factor",
+            self.idle_factor,
+            0.0 <= self.idle_factor <= 1.0,
+            "in [0, 1]",
+        )
+        for field_name in (
+            "e_fetch_access",
+            "e_xall_access",
+            "e_xalu_access",
+            "e_xload_access",
+            "e_l2_access",
+        ):
+            value = getattr(self, field_name)
+            _require(
+                owner,
+                field_name,
+                value,
+                0.0 <= value <= 1.0,
+                "in [0, 1] (a fraction of e_max_per_cycle)",
+            )
+        total = sum(self.structure_shares.values())
+        _require(
+            owner,
+            "structure_shares",
+            round(total, 3),
+            math.isclose(total, 1.0, abs_tol=0.02),
+            "shares summing to 1.0 +/- 0.02",
+        )
+        _require(
+            owner,
+            "process_nm",
+            self.process_nm,
+            self.process_nm >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "frequency_ghz",
+            self.frequency_ghz,
+            self.frequency_ghz > 0,
+            "> 0",
+        )
+        _require(owner, "vdd", self.vdd, self.vdd > 0, "> 0 volts")
+        return self
+
     @property
     def e_idle_per_cycle(self) -> float:
         """Idle energy per cycle as a fraction of max per-cycle energy."""
@@ -261,6 +520,75 @@ class SelectionConfig(_Fingerprinted):
         if self.load_cost_model not in (LoadCostModel.FLAT, LoadCostModel.CRITICALITY):
             raise ConfigError(f"unknown load cost model {self.load_cost_model!r}")
 
+    def validate(self) -> "SelectionConfig":
+        """Validate every field, naming the offender and its legal range."""
+        owner = "SelectionConfig"
+        _require(
+            owner,
+            "slicing_window",
+            self.slicing_window,
+            self.slicing_window >= 2,
+            ">= 2 instructions",
+        )
+        _require(
+            owner,
+            "max_pthread_insts",
+            self.max_pthread_insts,
+            self.max_pthread_insts >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "max_unroll",
+            self.max_unroll,
+            self.max_unroll >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "load_cost_model",
+            self.load_cost_model,
+            self.load_cost_model
+            in (LoadCostModel.FLAT, LoadCostModel.CRITICALITY),
+            f"'{LoadCostModel.FLAT}' or '{LoadCostModel.CRITICALITY}'",
+        )
+        _require(
+            owner,
+            "min_miss_share",
+            self.min_miss_share,
+            0.0 <= self.min_miss_share <= 1.0,
+            "in [0, 1]",
+        )
+        _require(
+            owner,
+            "min_gain_cycles",
+            self.min_gain_cycles,
+            self.min_gain_cycles >= 0.0,
+            ">= 0 cycles",
+        )
+        _require(
+            owner,
+            "embedded_latency_factor",
+            self.embedded_latency_factor,
+            self.embedded_latency_factor >= 1.0,
+            ">= 1.0 (a derating multiplier)",
+        )
+        _require(
+            owner,
+            "max_problem_loads",
+            self.max_problem_loads,
+            self.max_problem_loads >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "composition_weight",
+            self.composition_weight,
+            0.0 <= self.composition_weight <= 1.0,
+            "in [0, 1] (1 = latency, 0 = energy)",
+        )
+        return self
+
 
 @dataclass(frozen=True)
 class SimulationConfig(_Fingerprinted):
@@ -282,3 +610,37 @@ class SimulationConfig(_Fingerprinted):
             raise ConfigError("sample_fraction must be in (0, 1]")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ConfigError("warmup_fraction must be in [0, 1)")
+
+    def validate(self) -> "SimulationConfig":
+        """Validate every field, naming the offender and its legal range."""
+        owner = "SimulationConfig"
+        _require(
+            owner,
+            "max_instructions",
+            self.max_instructions,
+            self.max_instructions >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "sample_fraction",
+            self.sample_fraction,
+            0.0 < self.sample_fraction <= 1.0,
+            "in (0, 1]",
+        )
+        _require(
+            owner,
+            "sample_instructions",
+            self.sample_instructions,
+            self.sample_instructions >= 1,
+            ">= 1",
+        )
+        _require(
+            owner,
+            "warmup_fraction",
+            self.warmup_fraction,
+            0.0 <= self.warmup_fraction < 1.0,
+            "in [0, 1)",
+        )
+        _require(owner, "seed", self.seed, self.seed >= 0, ">= 0")
+        return self

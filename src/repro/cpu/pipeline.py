@@ -25,13 +25,13 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.branch.btb import BTB
 from repro.branch.predictors import HybridPredictor
 from repro.config import MachineConfig
 from repro.cpu.pthreads import PInstClass, PThreadProgram, SpawnSpec
 from repro.cpu.stats import SimStats
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, PipelineDeadlockError
 from repro.frontend.trace import NO_PRODUCER, Trace
 from repro.isa.opcodes import OpClass
 from repro.memory.hierarchy import MemoryHierarchy
@@ -168,6 +168,57 @@ class _Context:
         self.next_fetch = now + 1
         self.in_flight = 0
         self.fetched_all = False
+
+
+def _deadlock_error(
+    now: int,
+    committed: int,
+    n_main: int,
+    rob: "Deque[int]",
+    pc_arr: List[int],
+    kind_arr: List[int],
+    completion: List[int],
+    fetch_active: List[_Context],
+) -> PipelineDeadlockError:
+    """Build the diagnostic error for a wedged pipeline.
+
+    Raised when no stage is active and no future event exists to jump to.
+    This should be unreachable; if a scheduling bug ever introduces it,
+    the error must carry enough machine state to debug from a failure row
+    alone: the stall cycle, commit progress, the ROB head op, and every
+    live p-thread fetch context.
+    """
+    rob_head: Optional[Dict[str, object]] = None
+    if rob:
+        head = rob[0]
+        done_at = completion[head] if head < len(completion) else _NOT_DONE
+        rob_head = {
+            "seq": head,
+            "pc": pc_arr[head] if head < len(pc_arr) else None,
+            "kind": kind_arr[head] if head < len(kind_arr) else None,
+            "done_at": None if done_at == _NOT_DONE else done_at,
+        }
+    fetch_state = [
+        {
+            "static_id": ctx.spawn.static_id,
+            "trigger_seq": ctx.spawn.trigger_seq,
+            "fetch_idx": ctx.fetch_idx,
+            "next_fetch": ctx.next_fetch,
+            "in_flight": ctx.in_flight,
+            "fetched_all": ctx.fetched_all,
+        }
+        for ctx in fetch_active
+    ]
+    return PipelineDeadlockError(
+        f"pipeline deadlock at cycle {now}: "
+        f"{committed}/{n_main} committed, rob={len(rob)}",
+        cycle=now,
+        committed=committed,
+        total=n_main,
+        rob_size=len(rob),
+        rob_head=rob_head,
+        fetch_state=fetch_state,
+    )
 
 
 class Pipeline:
@@ -710,7 +761,15 @@ class Pipeline:
         # disabled fast path costs one boolean test per iteration.
         heartbeat = obs.is_enabled("debug")
         heartbeat_next = HEARTBEAT_CYCLES
+        # The ``pipeline.step`` fault site costs one hoisted boolean test
+        # per iteration when inactive; when armed it is sampled once at
+        # simulation start and then at heartbeat-sized cycle intervals.
+        fault_step = faults.site_active("pipeline.step")
+        fault_next = 0
         while committed < n_main:
+            if fault_step and now >= fault_next:
+                fault_next = now + HEARTBEAT_CYCLES
+                faults.raise_if("pipeline.step", key=f"cycle:{now}")
             if _debug:
                 _debug_iter += 1
                 if _debug_iter % 200_000 == 0:
@@ -781,9 +840,9 @@ class Pipeline:
             for ctx in fetch_active:
                 candidates.append(ctx.next_fetch)
             if not candidates:
-                raise ExecutionError(
-                    f"pipeline deadlock at cycle {now}: "
-                    f"{committed}/{n_main} committed, rob={len(rob)}"
+                raise _deadlock_error(
+                    now, committed, n_main, rob, pc_arr, kind_arr,
+                    completion, fetch_active,
                 )
             target = max(now + 1, min(candidates))
             attribute_cycles(target - now)

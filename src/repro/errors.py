@@ -1,4 +1,12 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+Robustness-path errors derive from :class:`StructuredError` and carry a
+machine-readable ``context`` dict (mirrored as attributes) so telemetry
+events, ``JobFailure`` rows, and chaos reports can record *why* something
+failed without parsing message strings.
+"""
+
+from typing import Any, Dict
 
 
 class ReproError(Exception):
@@ -23,3 +31,95 @@ class SelectionError(ReproError):
 
 class WorkloadError(ReproError):
     """An unknown workload or input set was requested."""
+
+
+# --------------------------------------------------------------------- #
+# Structured failure taxonomy (harness robustness paths).
+# --------------------------------------------------------------------- #
+
+
+class StructuredError(ReproError):
+    """An error carrying structured context for telemetry and reports.
+
+    ``context`` holds JSON-serializable diagnostics; every key is also
+    set as an attribute, so call sites read ``exc.cycle`` while the
+    failure row records ``exc.context`` wholesale.
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        super().__init__(message)
+        self.context: Dict[str, Any] = context
+        for key, value in context.items():
+            setattr(self, key, value)
+
+
+class SimulationTimeoutError(StructuredError):
+    """A simulation job exceeded its per-job wall-clock timeout.
+
+    Context: ``benchmark``, ``target``, ``timeout_s``, ``attempt``.
+    """
+
+
+class WorkerCrashError(StructuredError):
+    """A worker process died (or its pool broke) mid-job.
+
+    Context: ``benchmark``, ``target``, ``attempt``, ``cause``.
+    """
+
+
+class CacheCorruptionError(StructuredError):
+    """A persistent cache entry failed to read back or validate.
+
+    Context: ``path``, ``reason``.  The cache treats this as a miss and
+    evicts the entry; the error object exists to give the telemetry
+    event and counters a typed payload.
+    """
+
+
+class JournalError(StructuredError):
+    """A run journal could not be opened, appended, or parsed.
+
+    Context: ``path``, ``reason``.
+    """
+
+
+class FaultInjectedError(StructuredError):
+    """A deterministic injected fault fired (``repro.faults``).
+
+    Context: ``site``, ``key``.  Always retryable: the retry draws a
+    fresh Bernoulli sample, so recovery paths converge.
+    """
+
+
+class PipelineDeadlockError(ExecutionError):
+    """The timing simulator can make no further progress.
+
+    Carries the diagnostic state of the stalled machine: ``cycle``,
+    ``committed``/``total`` main instructions, ``rob_head`` (a dict
+    describing the ROB head op, or ``None`` when the ROB is empty), and
+    ``fetch_state`` (one dict per live p-thread fetch context).
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        super().__init__(message)
+        self.context: Dict[str, Any] = context
+        for key, value in context.items():
+            setattr(self, key, value)
+
+
+#: Error classes whose failures are deterministic: retrying the same job
+#: can only reproduce them, so the engine fails fast instead.
+NON_RETRYABLE = (
+    ProgramError,
+    ExecutionError,
+    ConfigError,
+    SelectionError,
+    WorkloadError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the parallel engine should retry a job that raised ``exc``."""
+    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+        return False
+    return not isinstance(exc, NON_RETRYABLE)

@@ -146,6 +146,24 @@ def run_bench(
     cache = simcache.get_cache()
     if cache is not None:
         payload["simcache"] = cache.stats()
+    # Recovery accounting rides along so throughput regressions caused
+    # by retries/rebuilds are visible in the payload itself.
+    snapshot = obs.counters.snapshot()
+    payload["resilience"] = {
+        name.split("harness.parallel.", 1)[1]: int(value)
+        for name, value in snapshot.items()
+        if name.startswith("harness.parallel.")
+        and name.split(".")[-1]
+        in ("retries", "recoveries", "failures", "timeouts",
+            "pool_rebuilds", "cells_resumed")
+    }
+    injected = {
+        name.split("faults.injected.", 1)[1]: int(value)
+        for name, value in snapshot.items()
+        if name.startswith("faults.injected.")
+    }
+    if injected:
+        payload["resilience"]["injected"] = injected
     return payload
 
 

@@ -1,0 +1,251 @@
+"""Chaos harness: prove the engine's recovery paths under injected faults.
+
+:func:`run_chaos` runs one experiment grid twice -- once fault-free as a
+reference, once under an active :mod:`repro.faults` plan -- and reports
+whether the engine actually recovered:
+
+- **zero aborted grids**: the faulted run must complete and return a row
+  for every cell (graceful degradation turns exhausted cells into
+  failure rows rather than exceptions);
+- **bit-identical recovery**: every cell that completed under faults
+  must produce exactly the reference row (modulo wall-clock ``t_*``
+  phase timings) -- retries re-run a pure function, so any drift is an
+  engine bug;
+- **full fault accounting**: for ``worker.run`` (whose draw keys are
+  computable in the parent), the report compares the *predicted* fault
+  schedule against the injected-fault counters that came back from the
+  workers; a mismatch means injections were dropped or double-counted.
+
+The ``repro chaos`` CLI command wraps this and renders the report; the
+``--quick`` smoke (used by CI) probes for a fault seed that injects at
+least one fault into the small grid so the run always exercises a retry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import faults, obs
+from repro.faults import FaultSpec, draw
+from repro.harness import simcache
+from repro.harness.figures import result_row
+from repro.harness.parallel import (
+    ExperimentJob,
+    JobFailure,
+    RetryPolicy,
+    run_experiments,
+)
+from repro.pthsel.targets import Target
+from repro.workloads.registry import BENCHMARK_NAMES
+
+#: Default injection: crash jobs in their workers 30% of the time.
+DEFAULT_SPEC = "worker.run:0.3"
+
+#: Chaos runs retry harder than production sweeps: with p=0.3 and eight
+#: attempts the per-cell permafail probability is 0.3^8 ~ 7e-5.
+CHAOS_MAX_ATTEMPTS = 8
+
+QUICK_BENCHMARKS = 2
+
+
+def _comparable(row: Dict[str, object]) -> Dict[str, object]:
+    """A result row minus its wall-clock columns (the only legitimate
+    run-to-run difference)."""
+    return {k: v for k, v in row.items() if not str(k).startswith("t_")}
+
+
+def predict_worker_run_faults(
+    grid: Sequence[ExperimentJob],
+    spec: FaultSpec,
+    max_attempts: int,
+) -> Dict[str, int]:
+    """Replay the ``worker.run`` fault schedule for ``grid`` in-process.
+
+    The site's draw key is a pure function of (cell key, attempt) --
+    exactly what the worker computes -- so the parent can predict how
+    many faults will fire, how many cells retry, and how many exhaust
+    every attempt, then check the workers' counters against it.
+    """
+    injections = retried = permafails = 0
+    for job in grid:
+        cell = job.cell_key()
+        cell_injections = 0
+        for attempt in range(1, max_attempts + 1):
+            # _execute_job draws under faults.scoped("<cell>:<attempt>")
+            # with key "run"; the plan mixes the scope into the key.
+            if draw(spec, f"{cell}:{attempt}|run"):
+                cell_injections += 1
+            else:
+                break
+        injections += cell_injections
+        if cell_injections:
+            retried += 1
+        if cell_injections >= max_attempts:
+            permafails += 1
+    return {
+        "injections": injections,
+        "cells_retried": retried,
+        "permafails": permafails,
+    }
+
+
+def _pick_quick_seed(
+    grid: Sequence[ExperimentJob], probability: float, max_attempts: int
+) -> Tuple[FaultSpec, Dict[str, int]]:
+    """A seed whose schedule injects at least one fault into ``grid``
+    without permafailing any cell -- so the quick smoke always exercises
+    the retry path and always recovers."""
+    for seed in range(256):
+        spec = FaultSpec("worker.run", probability, seed)
+        predicted = predict_worker_run_faults(grid, spec, max_attempts)
+        if predicted["injections"] >= 1 and predicted["permafails"] == 0:
+            return spec, predicted
+    # Unreachable for any sane probability; fall back to seed 0.
+    spec = FaultSpec("worker.run", probability, 0)
+    return spec, predict_worker_run_faults(grid, spec, max_attempts)
+
+
+def run_chaos(
+    benchmarks: Optional[Sequence[str]] = None,
+    targets: Sequence[Target] = (Target.LATENCY,),
+    specs: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    max_attempts: int = CHAOS_MAX_ATTEMPTS,
+    timeout_s: Optional[float] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Run the chaos experiment and return the recovery report.
+
+    Both runs disable the persistent cache: a cache hit would let the
+    faulted run answer from the reference run's results, proving nothing
+    about recovery.
+    """
+    if benchmarks is None:
+        benchmarks = (
+            BENCHMARK_NAMES[:QUICK_BENCHMARKS] if quick else BENCHMARK_NAMES
+        )
+    grid = [
+        ExperimentJob(benchmark, target=target)
+        for benchmark in benchmarks
+        for target in targets
+    ]
+
+    predicted: Optional[Dict[str, int]] = None
+    if specs is None:
+        base = FaultSpec.parse(DEFAULT_SPEC)
+        if quick:
+            spec, predicted = _pick_quick_seed(
+                grid, base.probability, max_attempts
+            )
+        else:
+            spec = base
+            predicted = predict_worker_run_faults(grid, spec, max_attempts)
+        plan_specs: List[str] = [spec.encode()]
+    else:
+        plan_specs = list(specs)
+        parsed = [FaultSpec.parse(s) for s in plan_specs]
+        run_specs = [s for s in parsed if s.site == "worker.run"]
+        if len(run_specs) == 1:
+            predicted = predict_worker_run_faults(
+                grid, run_specs[0], max_attempts
+            )
+
+    policy = RetryPolicy(
+        max_attempts=max_attempts,
+        base_delay_s=0.01,
+        max_delay_s=0.25,
+        timeout_s=timeout_s,
+    )
+
+    with simcache.disabled():
+        started = time.monotonic()
+        reference = run_experiments(
+            grid, n_jobs=jobs, policy=RetryPolicy(max_attempts=1),
+            journal=None, degrade=False,
+        )
+        reference_wall_s = time.monotonic() - started
+
+        before = obs.counters.snapshot()
+        started = time.monotonic()
+        with faults.active(plan_specs):
+            chaotic = run_experiments(
+                grid, n_jobs=jobs, policy=policy, journal=None,
+                degrade=True,
+            )
+        chaos_wall_s = time.monotonic() - started
+        delta = obs.counters.delta_since(before)
+
+    reference_rows = [_comparable(result_row(r)) for r in reference]
+    chaos_rows = [_comparable(result_row(r)) for r in chaotic]
+
+    identical = 0
+    mismatched: List[Dict[str, object]] = []
+    failures: List[Dict[str, object]] = []
+    for job, ref_row, chaos_result, chaos_row in zip(
+        grid, reference_rows, chaotic, chaos_rows
+    ):
+        if isinstance(chaos_result, JobFailure):
+            failures.append(chaos_result.row())
+            continue
+        if chaos_row == ref_row:
+            identical += 1
+        else:
+            mismatched.append(
+                {
+                    "benchmark": job.benchmark,
+                    "target": job.target.label,
+                    "reference": ref_row,
+                    "chaos": chaos_row,
+                }
+            )
+
+    injected = {
+        name.split("faults.injected.", 1)[1]: int(value)
+        for name, value in delta.items()
+        if name.startswith("faults.injected.")
+    }
+    report: Dict[str, object] = {
+        "specs": plan_specs,
+        "cells": len(grid),
+        "benchmarks": list(benchmarks),
+        "targets": [t.label for t in targets],
+        "max_attempts": max_attempts,
+        "aborted_runs": 0,  # both run_experiments calls returned
+        "completed_cells": len(grid) - len(failures),
+        "failed_cells": failures,
+        "identical_cells": identical,
+        "mismatched_cells": mismatched,
+        "injected": injected,
+        "retries": int(delta.get("harness.parallel.retries", 0)),
+        "recoveries": int(delta.get("harness.parallel.recoveries", 0)),
+        "failures": int(delta.get("harness.parallel.failures", 0)),
+        "timeouts": int(delta.get("harness.parallel.timeouts", 0)),
+        "pool_rebuilds": int(
+            delta.get("harness.parallel.pool_rebuilds", 0)
+        ),
+        "reference_wall_s": round(reference_wall_s, 3),
+        "chaos_wall_s": round(chaos_wall_s, 3),
+        "ok": not failures and not mismatched,
+    }
+    if predicted is not None:
+        report["predicted_worker_run"] = predicted
+        actual = injected.get("worker.run", 0)
+        report["accounted"] = actual == predicted["injections"]
+        report["ok"] = bool(report["ok"]) and bool(report["accounted"])
+    obs.log_event(
+        "chaos_report",
+        level="info" if report["ok"] else "error",
+        **{
+            k: report[k]
+            for k in (
+                "cells",
+                "identical_cells",
+                "retries",
+                "recoveries",
+                "injected",
+                "ok",
+            )
+        },
+    )
+    return report

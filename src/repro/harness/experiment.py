@@ -202,8 +202,8 @@ def warm_baseline(
     _, stats = _baseline_sim(
         benchmark,
         input_name,
-        machine or MachineConfig(),
-        sim or SimulationConfig(),
+        (machine or MachineConfig()).validate(),
+        (sim or SimulationConfig()).validate(),
     )
     return stats
 
@@ -238,9 +238,9 @@ def run_baseline(
     sim: Optional[SimulationConfig] = None,
 ) -> RunMeasurement:
     """Simulate a benchmark without pre-execution."""
-    machine = machine or MachineConfig()
-    energy = energy or EnergyConfig()
-    sim = sim or SimulationConfig()
+    machine = (machine or MachineConfig()).validate()
+    energy = (energy or EnergyConfig()).validate()
+    sim = (sim or SimulationConfig()).validate()
     _, stats = _baseline_sim(benchmark, input_name, machine, sim)
     model = EnergyModel(energy, machine)
     return RunMeasurement(stats=stats, energy=model.evaluate(stats.activity))
@@ -268,10 +268,10 @@ def run_experiment(
     p-threads (the paper's Section 7 extension) alongside the load
     prefetching ones.
     """
-    machine = machine or MachineConfig()
-    energy = energy or EnergyConfig()
-    selection = selection or SelectionConfig()
-    sim = sim or SimulationConfig()
+    machine = (machine or MachineConfig()).validate()
+    energy = (energy or EnergyConfig()).validate()
+    selection = (selection or SelectionConfig()).validate()
+    sim = (sim or SimulationConfig()).validate()
 
     # Whole-result persistent cache: an experiment is a deterministic
     # function of workload content + configuration, so a warm cache

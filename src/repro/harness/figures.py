@@ -25,8 +25,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import EnergyConfig, MachineConfig, SelectionConfig
 from repro.cpu.stats import BREAKDOWN_CATEGORIES
 from repro.harness.experiment import ExperimentResult
-from repro.harness.parallel import ExperimentJob, run_experiments
-from repro.harness.report import format_table, geometric_mean_pct
+from repro.harness.parallel import (
+    ExperimentJob,
+    GridResult,
+    JobFailure,
+    run_experiments,
+)
+from repro.harness.report import (
+    format_table,
+    geometric_mean_pct,
+    visible_columns,
+)
 from repro.pthsel.targets import Target
 from repro.workloads.registry import BENCHMARK_NAMES
 
@@ -53,7 +62,11 @@ def _energy_stack(result: ExperimentResult, run: str) -> Dict[str, float]:
     return measurement.energy.breakdown.relative_to(result.baseline.joules)
 
 
-def result_row(result: ExperimentResult) -> Dict[str, object]:
+def result_row(result: GridResult) -> Dict[str, object]:
+    if isinstance(result, JobFailure):
+        # Degraded grids interleave failure rows with result rows; the
+        # renderers show them with gaps in the metric columns.
+        return result.row()
     row: Dict[str, object] = {
         "benchmark": result.benchmark,
         "target": result.target.label,
@@ -76,10 +89,21 @@ class FigureData:
     latency_stacks: List[Dict[str, object]] = field(default_factory=list)
     energy_stacks: List[Dict[str, object]] = field(default_factory=list)
 
+    @property
+    def failed_rows(self) -> List[Dict[str, object]]:
+        """Failure rows from a degraded grid (empty when all cells ran)."""
+        return [row for row in self.rows if row.get("failed")]
+
     def gmeans(self, metric: str = "speedup_pct") -> Dict[str, float]:
-        """Geometric-mean improvement per target across benchmarks."""
+        """Geometric-mean improvement per target across benchmarks.
+
+        Failure rows carry no metrics and are skipped: a degraded grid
+        still summarizes, over the cells that completed.
+        """
         by_target: Dict[str, List[float]] = {}
         for row in self.rows:
+            if row.get("failed") or metric not in row:
+                continue
             by_target.setdefault(str(row["target"]), []).append(
                 float(row[metric])
             )
@@ -88,8 +112,7 @@ class FigureData:
     def render(self) -> str:
         if not self.rows:
             return format_table(self.rows)
-        columns = [c for c in self.rows[0] if not c.startswith("t_")]
-        return format_table(self.rows, columns=columns)
+        return format_table(self.rows, columns=visible_columns(self.rows))
 
 
 def _collect(
@@ -119,6 +142,8 @@ def _collect(
     by_benchmark: Dict[str, List[ExperimentResult]] = {}
     for job, result in zip(grid, results):
         data.rows.append(result_row(result))
+        if isinstance(result, JobFailure):
+            continue  # no stacks for a cell that never produced stats
         by_benchmark.setdefault(job.benchmark, []).append(result)
     if with_stacks:
         for benchmark in benchmarks:
@@ -222,6 +247,9 @@ def table3(
     results = run_experiments(grid, n_jobs=jobs)
     rows: List[Dict[str, object]] = []
     for benchmark, result in zip(benchmarks, results):
+        if isinstance(result, JobFailure):
+            rows.append(result.row())
+            continue
         predicted = result.selection.predicted
         base = result.baseline
         opt = result.optimized
@@ -270,7 +298,7 @@ def _sweep(
     rows: List[Dict[str, object]] = []
     for job, result in zip(grid, run_experiments(grid, n_jobs=jobs)):
         row = result_row(result)
-        row.update(job.tag)
+        row.update(job.tag)  # failure rows already carry it; idempotent
         rows.append(row)
     return rows
 

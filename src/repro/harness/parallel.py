@@ -1,4 +1,4 @@
-"""Parallel experiment engine.
+"""Fault-tolerant parallel experiment engine.
 
 Every paper figure is a grid of *independent* experiments -- benchmark x
 target x sweep point -- so the harness fans them out over a
@@ -9,15 +9,39 @@ target x sweep point -- so the harness fans them out over a
   pre-parallel harness.
 - ``jobs=N`` dispatches whole experiments to worker processes.  The
   simulators are deterministic, so results are bit-identical to the
-  sequential path regardless of worker count or completion order
-  (results are returned in submission order).
+  sequential path regardless of worker count, completion order, or how
+  many retries a cell needed (results are returned in submission order).
 - Identical baseline simulations are **deduplicated before dispatch**:
   a sweep that reuses one baseline across many targets warms it exactly
   once (through :mod:`repro.harness.simcache`) instead of simulating it
   concurrently in several workers.
 - Worker telemetry is not dropped: each job returns the
-  :mod:`repro.obs` counter delta it produced, which the parent merges
-  into its own registry so run manifests account for all work done.
+  :mod:`repro.obs` counter delta it produced -- *also on failure* -- and
+  the parent merges it into its own registry, so run manifests account
+  for all work done, including every injected fault.
+
+Long sweeps must survive partial failure, so the engine layers four
+recovery mechanisms on top of the fan-out:
+
+- **Bounded retries with exponential backoff + deterministic jitter**
+  (:class:`RetryPolicy`): transient job failures re-run up to
+  ``max_attempts`` times; deterministic errors (:data:`NON_RETRYABLE`)
+  fail fast.
+- **Per-job wall-clock timeouts**: a hung worker cannot be cancelled,
+  so the engine terminates the pool, rebuilds it, and re-submits every
+  outstanding job (the timed-out cell with its attempt count bumped).
+- **BrokenProcessPool recovery**: a crashed worker (or a failed worker
+  initializer) breaks the whole pool; the engine rebuilds it -- at most
+  ``max_pool_rebuilds`` times -- and re-submits outstanding jobs.
+- **Graceful degradation**: with ``degrade=True``, a cell that exhausts
+  its attempts yields a structured :class:`JobFailure` row (error
+  class, attempts, elapsed) instead of aborting the grid.
+
+A :class:`~repro.harness.journal.Journal` checkpoints each completed
+cell as it finishes; an interrupted run resumed with the same journal
+skips every finished cell.  ``KeyboardInterrupt``/``SIGTERM`` terminate
+and join all workers (no orphans) before propagating, with the journal
+already flushed per record.
 
 The worker count resolves as: explicit argument > ``REPRO_JOBS``
 environment variable > ``os.cpu_count()``.
@@ -25,17 +49,43 @@ environment variable > ``os.cpu_count()``.
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import heapq
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro import obs
+from repro import faults, obs
 from repro.config import (
     EnergyConfig,
     MachineConfig,
     SelectionConfig,
     SimulationConfig,
+)
+from repro.errors import (
+    ReproError,
+    SimulationTimeoutError,
+    WorkerCrashError,
+    is_retryable,
 )
 from repro.harness import simcache
 from repro.harness.experiment import (
@@ -43,6 +93,7 @@ from repro.harness.experiment import (
     run_experiment,
     warm_baseline,
 )
+from repro.harness.journal import Journal
 from repro.pthsel.targets import Target
 
 _JOBS_DISPATCHED = obs.counters.counter("harness.parallel.jobs_dispatched")
@@ -50,6 +101,84 @@ _BASELINES_DEDUPED = obs.counters.counter(
     "harness.parallel.baselines_deduped"
 )
 _POOLS_STARTED = obs.counters.counter("harness.parallel.pools_started")
+_RETRIES = obs.counters.counter("harness.parallel.retries")
+_RECOVERIES = obs.counters.counter("harness.parallel.recoveries")
+_FAILURES = obs.counters.counter("harness.parallel.failures")
+_TIMEOUTS = obs.counters.counter("harness.parallel.timeouts")
+_POOL_REBUILDS = obs.counters.counter("harness.parallel.pool_rebuilds")
+_INTERRUPTS = obs.counters.counter("harness.parallel.interrupts")
+_CELLS_RESUMED = obs.counters.counter("harness.parallel.cells_resumed")
+
+#: How long an injected ``worker.hang`` fault sleeps; far beyond any
+#: sane per-job timeout, so the timeout path always fires first.
+HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine retries, backs off, and times out grid jobs."""
+
+    #: Total tries per cell (1 = no retries).
+    max_attempts: int = 3
+    #: First backoff delay; doubles per attempt up to ``max_delay_s``.
+    base_delay_s: float = 0.1
+    max_delay_s: float = 2.0
+    #: +/- fraction of the backoff applied as deterministic jitter.
+    jitter: float = 0.25
+    #: Per-job wall clock; ``None`` disables (and the in-process
+    #: sequential path cannot enforce one either way).
+    timeout_s: Optional[float] = None
+    #: Pool rebuilds (worker crashes, hangs, failed initializers)
+    #: tolerated before the whole grid is declared unrunnable.
+    max_pool_rebuilds: int = 5
+
+    def delay_for(self, attempt: int, key: str) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered
+        deterministically from the cell key so reruns are reproducible
+        and a burst of failed cells doesn't retry in lockstep."""
+        base = min(
+            self.base_delay_s * (2.0 ** max(0, attempt - 1)),
+            self.max_delay_s,
+        )
+        digest = hashlib.sha256(f"{key}|{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0**64
+        return max(0.0, base * (1.0 + self.jitter * (2.0 * unit - 1.0)))
+
+
+@dataclass
+class JobFailure:
+    """A grid cell that exhausted its attempts, as a structured row.
+
+    Under graceful degradation these take the failed cell's place in
+    the results list, so a partial grid still renders -- with gaps --
+    and the manifest records exactly what failed and why.
+    """
+
+    benchmark: str
+    target: Target
+    error: str
+    message: str
+    attempts: int
+    elapsed_s: float
+    cell_key: str = ""
+    context: Dict[str, object] = field(default_factory=dict)
+    tag: Dict[str, object] = field(default_factory=dict)
+
+    #: Discriminates failure rows in ``results.jsonl``.
+    failed: bool = True
+
+    def row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "target": self.target.label,
+            "failed": True,
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+        row.update(self.tag)
+        return row
 
 
 @dataclass
@@ -94,6 +223,34 @@ class ExperimentJob:
             keys.append((self.benchmark, self.profile_input, machine, sim))
         return keys
 
+    def cell_key(self) -> str:
+        """Content hash of the cell's full configuration.
+
+        Used as the journal key and the fault/jitter draw key, so two
+        jobs are the same cell iff every input that could change the
+        result is the same.
+        """
+        from repro.obs.manifest import stable_json
+
+        material = {
+            "benchmark": self.benchmark,
+            "target": self.target.label,
+            "profile_input": self.profile_input,
+            "run_input": self.run_input,
+            "machine": (self.machine or MachineConfig()).fingerprint,
+            "energy": (self.energy or EnergyConfig()).fingerprint,
+            "selection": (self.selection or SelectionConfig()).fingerprint,
+            "sim": (self.sim or SimulationConfig()).fingerprint,
+            "branch_pthreads": self.include_branch_pthreads,
+            "tag": self.tag,
+        }
+        return hashlib.sha256(
+            stable_json(material).encode()
+        ).hexdigest()[:20]
+
+
+GridResult = Union[ExperimentResult, JobFailure]
+
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
@@ -112,25 +269,129 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 # --------------------------------------------------------------------- #
+# Ambient engine options.  The CLI configures retry/journal/degradation
+# once per invocation; figure helpers deep in the call tree then pick
+# them up without threading kwargs through every signature.
+# --------------------------------------------------------------------- #
+
+_OPTIONS: Dict[str, object] = {
+    "policy": None,
+    "journal": None,
+    "degrade": None,
+}
+
+
+@contextlib.contextmanager
+def engine_options(
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[Journal] = None,
+    degrade: Optional[bool] = None,
+) -> Iterator[None]:
+    """Scope default engine options for nested :func:`run_experiments`."""
+    previous = dict(_OPTIONS)
+    if policy is not None:
+        _OPTIONS["policy"] = policy
+    if journal is not None:
+        _OPTIONS["journal"] = journal
+    if degrade is not None:
+        _OPTIONS["degrade"] = degrade
+    try:
+        yield
+    finally:
+        _OPTIONS.update(previous)
+
+
+def _resolve_options(
+    policy: Optional[RetryPolicy],
+    journal: Optional[Journal],
+    degrade: Optional[bool],
+) -> Tuple[RetryPolicy, Optional[Journal], bool]:
+    if policy is None:
+        policy = _OPTIONS["policy"] or RetryPolicy()
+    if journal is None:
+        journal = _OPTIONS["journal"]
+    if degrade is None:
+        degrade = bool(_OPTIONS["degrade"])
+    return policy, journal, degrade
+
+
+# --------------------------------------------------------------------- #
 # Worker side.  Module-level functions so they pickle under any start
-# method; the initializer re-applies the parent's cache and log config
-# (fork inherits it, spawn does not).
+# method; the initializer re-applies the parent's cache, log, and fault
+# configuration (fork inherits it, spawn does not).
 # --------------------------------------------------------------------- #
 
 
-def _worker_init(cache_dir: Optional[str], cache_enabled: bool,
-                 log_level: str) -> None:
+@dataclass
+class _WorkerFailure:
+    """A worker-side exception, shipped back as a value so the counter
+    delta (including injected-fault counts) survives the failure."""
+
+    error: str
+    message: str
+    context: Dict[str, object]
+    retryable: bool
+
+
+def _worker_init(
+    cache_dir: Optional[str],
+    cache_enabled: bool,
+    log_level: str,
+    fault_specs: Sequence[str],
+    fail_start: bool,
+) -> None:
     simcache.configure(cache_dir=cache_dir, enabled=cache_enabled)
     if log_level != "off":
         obs.configure(level=log_level)
+    faults.configure(fault_specs)
+    if fail_start:
+        # The parent drew the worker.start fault for this pool epoch
+        # (and counted it); every worker in the epoch dies at birth,
+        # breaking the pool -- the BrokenProcessPool recovery path.
+        raise RuntimeError("injected fault at worker.start")
+
+
+def _execute_job(
+    job: ExperimentJob, cell_key: str, attempt: int
+) -> ExperimentResult:
+    """Run one job, honoring the worker.run / worker.hang fault sites.
+
+    Draw keys include the attempt number, so a retried cell samples
+    independently and recovery converges.  The whole job runs under a
+    ``faults.scoped`` context for the same reason: sites deep inside the
+    job (``pipeline.step``, ``simcache.*``) key their draws on replayed
+    deterministic state, and only the mixed-in scope makes a retry a
+    fresh sample instead of a permafail.
+    """
+    with faults.scoped(f"{cell_key}:{attempt}"):
+        faults.raise_if("worker.run", key="run")
+        if faults.site_active("worker.hang") and faults.should_fault(
+            "worker.hang", key="hang"
+        ):
+            time.sleep(HANG_SECONDS)
+        return job.run()
+
+
+def _describe_failure(exc: BaseException) -> _WorkerFailure:
+    return _WorkerFailure(
+        error=type(exc).__name__,
+        message=str(exc),
+        context=dict(getattr(exc, "context", {}) or {}),
+        retryable=is_retryable(exc),
+    )
 
 
 def _worker_experiment(
-    job: ExperimentJob,
-) -> Tuple[ExperimentResult, Dict[str, float]]:
+    job: ExperimentJob, cell_key: str, attempt: int
+) -> Tuple[
+    Optional[ExperimentResult], Optional[_WorkerFailure], Dict[str, float]
+]:
     before = obs.counters.snapshot()
-    result = job.run()
-    return result, obs.counters.delta_since(before)
+    try:
+        result = _execute_job(job, cell_key, attempt)
+    except Exception as exc:
+        return None, _describe_failure(exc), obs.counters.delta_since(before)
+    return result, None, obs.counters.delta_since(before)
 
 
 def _worker_warm(
@@ -167,46 +428,545 @@ def _dedupe_baselines(
     return shared
 
 
+@dataclass
+class _Flight:
+    """One in-flight pool submission."""
+
+    index: int
+    job: ExperimentJob
+    key: str
+    attempt: int
+    started: float
+    deadline: Optional[float]
+
+
+def _journal_record(
+    journal: Optional[Journal],
+    key: str,
+    job: ExperimentJob,
+    result: ExperimentResult,
+    attempts: int,
+    elapsed_s: float,
+) -> None:
+    if journal is not None:
+        journal.record(
+            key,
+            result,
+            benchmark=job.benchmark,
+            target=job.target.label,
+            attempts=attempts,
+            elapsed_s=round(elapsed_s, 3),
+        )
+
+
+def _make_failure(
+    job: ExperimentJob,
+    key: str,
+    failure: _WorkerFailure,
+    attempts: int,
+    elapsed_s: float,
+) -> JobFailure:
+    _FAILURES.add()
+    obs.log_event(
+        "job_failed",
+        level="error",
+        benchmark=job.benchmark,
+        target=job.target.label,
+        error=failure.error,
+        message=failure.message,
+        attempts=attempts,
+        elapsed_s=round(elapsed_s, 3),
+    )
+    return JobFailure(
+        benchmark=job.benchmark,
+        target=job.target,
+        error=failure.error,
+        message=failure.message,
+        attempts=attempts,
+        elapsed_s=elapsed_s,
+        cell_key=key,
+        context=failure.context,
+        tag=dict(job.tag),
+    )
+
+
+def _failure_exception(jf: JobFailure) -> ReproError:
+    """The exception to raise for ``jf`` when degradation is off."""
+    if jf.error == "SimulationTimeoutError":
+        return SimulationTimeoutError(
+            jf.message,
+            benchmark=jf.benchmark,
+            target=jf.target.label,
+            attempt=jf.attempts,
+            **jf.context,
+        )
+    if jf.error in ("WorkerCrashError", "BrokenProcessPool"):
+        return WorkerCrashError(
+            jf.message,
+            benchmark=jf.benchmark,
+            target=jf.target.label,
+            attempt=jf.attempts,
+            **jf.context,
+        )
+    return ReproError(
+        f"{jf.benchmark}/{jf.target.label} failed after "
+        f"{jf.attempts} attempt(s): {jf.error}: {jf.message}"
+    )
+
+
+def _log_retry(
+    job: ExperimentJob, attempt: int, error: str, delay: float
+) -> None:
+    _RETRIES.add()
+    obs.log_event(
+        "job_retry",
+        level="warning",
+        benchmark=job.benchmark,
+        target=job.target.label,
+        attempt=attempt,
+        error=error,
+        backoff_s=round(delay, 3),
+    )
+
+
+def _log_recovery(job: ExperimentJob, attempts: int) -> None:
+    _RECOVERIES.add()
+    obs.log_event(
+        "job_recovered",
+        level="info",
+        benchmark=job.benchmark,
+        target=job.target.label,
+        attempts=attempts,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Pool lifecycle.
+# --------------------------------------------------------------------- #
+
+
+def _new_pool(workers: int, epoch: int) -> ProcessPoolExecutor:
+    cache = simcache.get_cache()
+    fail_start = faults.should_fault("worker.start", key=f"epoch:{epoch}")
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(
+            cache.root if cache is not None else None,
+            cache is not None,
+            obs.current_level(),
+            faults.encode_plan(),
+            fail_start,
+        ),
+    )
+    _POOLS_STARTED.add()
+    return pool
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate and join every worker: used on rebuilds and interrupts
+    so no orphan processes outlive the grid."""
+    # Snapshot first: shutdown() drops the executor's reference to its
+    # process table, and a hung worker never exits on its own.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5)
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------- #
+# The engine.
+# --------------------------------------------------------------------- #
+
+
 def run_experiments(
     jobs: Sequence[ExperimentJob],
     n_jobs: Optional[int] = None,
-) -> List[ExperimentResult]:
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[Journal] = None,
+    degrade: Optional[bool] = None,
+) -> List[GridResult]:
     """Run a grid of experiments, in parallel when ``n_jobs > 1``.
 
     Results come back in submission order and are bit-identical to the
     sequential path (the grid cells are independent deterministic
-    simulations).  Worker counter deltas are merged into this process's
-    :data:`repro.obs.counters` registry.
+    simulations; retries re-run the same pure function).  Worker counter
+    deltas are merged into this process's :data:`repro.obs.counters`
+    registry.
+
+    ``policy``/``journal``/``degrade`` default to the ambient
+    :func:`engine_options`.  With ``degrade=True``, cells that exhaust
+    their retries come back as :class:`JobFailure` entries instead of
+    raising.  With a ``journal``, completed cells are checkpointed as
+    they finish and previously journaled cells are skipped.
     """
     jobs = list(jobs)
-    n = min(resolve_jobs(n_jobs), max(1, len(jobs)))
-    if n <= 1 or len(jobs) <= 1:
-        return [job.run() for job in jobs]
+    policy, journal, degrade = _resolve_options(policy, journal, degrade)
+    results: List[Optional[GridResult]] = [None] * len(jobs)
 
-    cache = simcache.get_cache()
-    _POOLS_STARTED.add()
-    _JOBS_DISPATCHED.add(len(jobs))
-    with obs.span("parallel_grid", jobs=len(jobs), workers=n):
-        with ProcessPoolExecutor(
-            max_workers=n,
-            initializer=_worker_init,
-            initargs=(
-                cache.root if cache is not None else None,
-                cache is not None,
-                obs.current_level(),
-            ),
-        ) as pool:
-            # Phase 1: warm shared baselines once each.  Without a
-            # persistent cache there is no medium to share them through,
-            # so skip straight to dispatch.
-            if cache is not None:
-                shared = _dedupe_baselines(jobs)
-                if shared:
-                    for delta in pool.map(_worker_warm, shared):
-                        obs.counters.merge(delta)
-            # Phase 2: fan out the experiments.
-            results: List[ExperimentResult] = []
-            for result, delta in pool.map(_worker_experiment, jobs):
+    # Resume: serve journaled cells without re-running them.
+    to_run: List[Tuple[int, ExperimentJob, str]] = []
+    for index, job in enumerate(jobs):
+        key = job.cell_key()
+        if journal is not None:
+            # Only successful cells are journaled, so any payload that
+            # unpickles is a completed result.
+            cached = journal.result_for(key)
+            if cached is not None:
+                results[index] = cached
+                _CELLS_RESUMED.add()
+                obs.log_event(
+                    "cell_resumed",
+                    benchmark=job.benchmark,
+                    target=job.target.label,
+                )
+                continue
+        to_run.append((index, job, key))
+
+    if to_run:
+        _JOBS_DISPATCHED.add(len(to_run))
+        n = min(resolve_jobs(n_jobs), max(1, len(to_run)))
+        if n <= 1 or len(to_run) <= 1:
+            _run_sequential(to_run, policy, journal, degrade, results)
+        else:
+            with obs.span("parallel_grid", jobs=len(to_run), workers=n):
+                _run_pool(to_run, n, policy, journal, degrade, results)
+
+    return list(results)  # type: ignore[arg-type]
+
+
+def _run_sequential(
+    to_run: Sequence[Tuple[int, ExperimentJob, str]],
+    policy: RetryPolicy,
+    journal: Optional[Journal],
+    degrade: bool,
+    results: List[Optional[GridResult]],
+) -> None:
+    """The in-process path: same retry semantics, no timeouts (a hung
+    simulation in this process cannot be preempted)."""
+    for index, job, key in to_run:
+        started = time.monotonic()
+        attempt = 1
+        while True:
+            try:
+                result = _execute_job(job, key, attempt)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                failure = _describe_failure(exc)
+                if failure.retryable and attempt < policy.max_attempts:
+                    delay = policy.delay_for(attempt, key)
+                    _log_retry(job, attempt, failure.error, delay)
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                elapsed = time.monotonic() - started
+                jf = _make_failure(job, key, failure, attempt, elapsed)
+                if not degrade:
+                    raise  # in-process: the original exception is best
+                results[index] = jf
+                break
+            else:
+                if attempt > 1:
+                    _log_recovery(job, attempt)
+                _journal_record(
+                    journal, key, job, result, attempt,
+                    time.monotonic() - started,
+                )
+                results[index] = result
+                break
+
+
+def _run_pool(
+    to_run: Sequence[Tuple[int, ExperimentJob, str]],
+    n: int,
+    policy: RetryPolicy,
+    journal: Optional[Journal],
+    degrade: bool,
+    results: List[Optional[GridResult]],
+) -> None:
+    pool = _new_pool(n, epoch=0)
+    epoch = 0
+
+    #: FIFO of (index, job, key, attempt) ready to submit.
+    pending: Deque[Tuple[int, ExperimentJob, str, int]] = deque(
+        (index, job, key, 1) for index, job, key in to_run
+    )
+    #: Min-heap of (due_monotonic, seq, index, job, key, attempt).
+    backoff: List[Tuple[float, int, int, ExperimentJob, str, int]] = []
+    backoff_seq = 0
+    inflight: Dict[Future, _Flight] = {}
+    started_at: Dict[int, float] = {}
+
+    def rebuild(reason: str) -> None:
+        nonlocal pool, epoch
+        _kill_pool(pool)
+        epoch += 1
+        if epoch > policy.max_pool_rebuilds:
+            raise WorkerCrashError(
+                f"process pool broke {epoch} times (last: {reason}); "
+                f"giving up on the grid",
+                cause=reason,
+                rebuilds=epoch - 1,
+            )
+        _POOL_REBUILDS.add()
+        obs.log_event(
+            "pool_rebuilt", level="warning", reason=reason, epoch=epoch
+        )
+        pool = _new_pool(n, epoch)
+
+    def settle(
+        index: int,
+        job: ExperimentJob,
+        key: str,
+        attempt: int,
+        failure: _WorkerFailure,
+    ) -> None:
+        """Retry a failed attempt, or finalize it as a JobFailure."""
+        nonlocal backoff_seq
+        if failure.retryable and attempt < policy.max_attempts:
+            delay = policy.delay_for(attempt, key)
+            _log_retry(job, attempt, failure.error, delay)
+            backoff_seq += 1
+            heapq.heappush(
+                backoff,
+                (
+                    time.monotonic() + delay,
+                    backoff_seq,
+                    index,
+                    job,
+                    key,
+                    attempt + 1,
+                ),
+            )
+            return
+        elapsed = time.monotonic() - started_at.get(index, time.monotonic())
+        jf = _make_failure(job, key, failure, attempt, elapsed)
+        if not degrade:
+            raise _failure_exception(jf)
+        results[index] = jf
+
+    def warm_shared() -> None:
+        """Pre-warm deduplicated baselines; purely an optimization, so
+        any failure here just logs and moves on (a broken pool is
+        rebuilt, everything else is retried implicitly by the jobs
+        themselves)."""
+        if simcache.get_cache() is None:
+            return
+        shared = _dedupe_baselines([job for _, job, _ in to_run])
+        if not shared:
+            return
+        try:
+            futures = [pool.submit(_worker_warm, key) for key in shared]
+            for future in futures:
+                try:
+                    obs.counters.merge(future.result())
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    obs.log_event(
+                        "baseline_warm_failed",
+                        level="warning",
+                        error=type(exc).__name__,
+                        detail=str(exc),
+                    )
+        except BrokenProcessPool:
+            rebuild("broken_pool_during_warm")
+
+    try:
+        # Phase 1: warm shared baselines once each.  Without a
+        # persistent cache there is no medium to share them through,
+        # so skip straight to dispatch.
+        warm_shared()
+
+        # Phase 2: fan out the experiments with retry/timeout/rebuild.
+        while pending or backoff or inflight:
+            now = time.monotonic()
+            while backoff and backoff[0][0] <= now:
+                _, _, index, job, key, attempt = heapq.heappop(backoff)
+                pending.append((index, job, key, attempt))
+
+            broken = False
+            while pending and len(inflight) < n:
+                index, job, key, attempt = pending.popleft()
+                started_at.setdefault(index, time.monotonic())
+                try:
+                    future = pool.submit(
+                        _worker_experiment, job, key, attempt
+                    )
+                except (BrokenProcessPool, RuntimeError):
+                    pending.appendleft((index, job, key, attempt))
+                    broken = True
+                    break
+                deadline = (
+                    time.monotonic() + policy.timeout_s
+                    if policy.timeout_s
+                    else None
+                )
+                inflight[future] = _Flight(
+                    index, job, key, attempt, time.monotonic(), deadline
+                )
+
+            if broken:
+                for future, flight in list(inflight.items()):
+                    del inflight[future]
+                    pending.append(
+                        (flight.index, flight.job, flight.key,
+                         flight.attempt)
+                    )
+                rebuild("broken_pool_on_submit")
+                continue
+
+            if not inflight:
+                if backoff:
+                    time.sleep(
+                        max(0.0, backoff[0][0] - time.monotonic())
+                    )
+                continue
+
+            # Wait for completions, bounded by the nearest job deadline
+            # and the nearest backoff expiry.
+            wait_s = 1.0
+            now = time.monotonic()
+            deadlines = [
+                f.deadline for f in inflight.values() if f.deadline
+            ]
+            if deadlines:
+                wait_s = min(wait_s, max(0.0, min(deadlines) - now))
+            if backoff:
+                wait_s = min(wait_s, max(0.0, backoff[0][0] - now))
+            done, _ = wait(
+                set(inflight),
+                timeout=max(wait_s, 0.01),
+                return_when=FIRST_COMPLETED,
+            )
+
+            for future in done:
+                flight = inflight.pop(future)
+                try:
+                    result, failure, delta = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    crash = _WorkerFailure(
+                        error="WorkerCrashError",
+                        message="worker process pool broke mid-job",
+                        context={"cause": "broken_pool"},
+                        retryable=True,
+                    )
+                    settle(
+                        flight.index, flight.job, flight.key,
+                        flight.attempt, crash,
+                    )
+                    continue
+                except Exception as exc:
+                    # Harness-level failure (unpicklable result, ...):
+                    # treat like a crashed attempt.
+                    settle(
+                        flight.index, flight.job, flight.key,
+                        flight.attempt, _describe_failure(exc),
+                    )
+                    continue
                 obs.counters.merge(delta)
-                results.append(result)
-    return results
+                if failure is not None:
+                    settle(
+                        flight.index, flight.job, flight.key,
+                        flight.attempt, failure,
+                    )
+                    continue
+                if flight.attempt > 1:
+                    _log_recovery(flight.job, flight.attempt)
+                _journal_record(
+                    journal, flight.key, flight.job, result,
+                    flight.attempt,
+                    time.monotonic() - started_at[flight.index],
+                )
+                results[flight.index] = result
+
+            if broken:
+                for future, flight in list(inflight.items()):
+                    del inflight[future]
+                    pending.append(
+                        (flight.index, flight.job, flight.key,
+                         flight.attempt)
+                    )
+                rebuild("broken_pool")
+                continue
+
+            # Deadline sweep: a hung worker cannot be cancelled, so the
+            # pool is torn down; innocent in-flight jobs re-submit at
+            # the same attempt, the timed-out ones retry or fail.
+            now = time.monotonic()
+            expired = [
+                (future, flight)
+                for future, flight in inflight.items()
+                if flight.deadline is not None
+                and now > flight.deadline
+                and not future.done()
+            ]
+            if expired:
+                _TIMEOUTS.add(len(expired))
+                expired_futures = {future for future, _ in expired}
+                survivors = [
+                    flight
+                    for future, flight in inflight.items()
+                    if future not in expired_futures
+                ]
+                inflight.clear()
+                for _, flight in expired:
+                    obs.log_event(
+                        "job_timeout",
+                        level="error",
+                        benchmark=flight.job.benchmark,
+                        target=flight.job.target.label,
+                        attempt=flight.attempt,
+                        timeout_s=policy.timeout_s,
+                    )
+                    timeout = _WorkerFailure(
+                        error="SimulationTimeoutError",
+                        message=(
+                            f"job exceeded {policy.timeout_s}s "
+                            f"wall-clock timeout"
+                        ),
+                        context={"timeout_s": policy.timeout_s},
+                        retryable=True,
+                    )
+                    settle(
+                        flight.index, flight.job, flight.key,
+                        flight.attempt, timeout,
+                    )
+                for flight in survivors:
+                    pending.append(
+                        (flight.index, flight.job, flight.key,
+                         flight.attempt)
+                    )
+                rebuild("job_timeout")
+    except BaseException as exc:
+        if isinstance(exc, KeyboardInterrupt):
+            _INTERRUPTS.add()
+            obs.log_event(
+                "grid_interrupted",
+                level="warning",
+                completed=sum(1 for r in results if r is not None),
+                total=len(results),
+            )
+        # No orphans: terminate and join every worker before the
+        # exception propagates.  The journal is flushed per record, so
+        # nothing completed is lost.
+        _kill_pool(pool)
+        raise
+    else:
+        pool.shutdown(wait=True)

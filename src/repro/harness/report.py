@@ -38,7 +38,16 @@ def format_table(
     if not rows:
         return "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        # Union across rows (first-appearance order): degraded grids mix
+        # result rows and failure rows of different shapes.
+        seen = set()
+        union: List[str] = []
+        for row in rows:
+            for c in row:
+                if c not in seen:
+                    seen.add(c)
+                    union.append(c)
+        columns = union
 
     def cell(value: object) -> str:
         if isinstance(value, float):
@@ -61,10 +70,19 @@ def format_table(
 
 def visible_columns(rows: Sequence[Mapping[str, object]]) -> List[str]:
     """Columns for human-facing tables: everything except the ``t_*``
-    phase-timing columns that ride along for machine-readable artifacts."""
-    if not rows:
-        return []
-    return [c for c in rows[0] if not str(c).startswith("t_")]
+    phase-timing columns that ride along for machine-readable artifacts.
+
+    The union of all rows' keys, in first-appearance order: a degraded
+    grid mixes result rows with failure rows of a different shape, and
+    both must stay visible (gaps render as empty cells)."""
+    columns: List[str] = []
+    seen = set()
+    for row in rows:
+        for c in row:
+            if c not in seen and not str(c).startswith("t_"):
+                seen.add(c)
+                columns.append(c)
+    return columns
 
 
 def render_json_lines(rows: Iterable[Mapping[str, object]]) -> str:

@@ -19,6 +19,16 @@ invocations never re-simulate work they have already done:
   complete entries, and the last writer of identical content wins.
 - **Corruption tolerance**: a truncated or garbage entry is a miss (and
   is evicted), never an exception.
+- **I/O degradation**: a full disk, a read-only cache directory, or any
+  other persistent ``OSError`` degrades the cache to a no-op with a
+  single ``simcache_degraded`` warning event -- a failing cache must
+  never abort the grid whose results it was merely accelerating.
+  (:func:`get_cache` returns ``None`` once degraded, so callers skip
+  key hashing too.)
+
+The ``simcache.read`` / ``simcache.write`` fault-injection sites
+(:mod:`repro.faults`) raise ``OSError`` inside the normal I/O paths, so
+chaos runs exercise exactly the handlers real ENOSPC/EACCES would hit.
 
 The default location is ``~/.cache/repro-sim`` (override with
 ``REPRO_CACHE_DIR`` or the CLI ``--cache-dir``); ``REPRO_CACHE=0``
@@ -34,7 +44,8 @@ import pickle
 import tempfile
 from typing import Any, Dict, Iterator, Optional
 
-from repro import obs
+from repro import faults, obs
+from repro.errors import CacheCorruptionError
 from repro.obs.manifest import stable_json
 
 #: Bump when the envelope layout or the meaning of cached payloads changes.
@@ -64,6 +75,8 @@ _HITS = obs.counters.counter("harness.simcache.hits")
 _MISSES = obs.counters.counter("harness.simcache.misses")
 _WRITES = obs.counters.counter("harness.simcache.writes")
 _EVICTIONS = obs.counters.counter("harness.simcache.evictions")
+_CORRUPT = obs.counters.counter("harness.simcache.corrupt_entries")
+_DEGRADATIONS = obs.counters.counter("harness.simcache.degradations")
 
 _code_version_cache: Optional[str] = None
 
@@ -119,6 +132,25 @@ class SimCache:
 
     def __init__(self, root: Optional[str] = None) -> None:
         self.root = root or default_cache_dir()
+        #: Set on the first persistent I/O error; a degraded cache
+        #: misses on every get and drops every put.
+        self.degraded = False
+
+    def _degrade(self, op: str, exc: OSError) -> None:
+        """Turn the cache off for this process after an I/O failure
+        (ENOSPC, EACCES, read-only mount, ...), warning exactly once."""
+        if self.degraded:
+            return
+        self.degraded = True
+        _DEGRADATIONS.add()
+        obs.log_event(
+            "simcache_degraded",
+            level="warning",
+            dir=self.root,
+            op=op,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
 
     # ----------------------------------------------------------------- #
 
@@ -146,9 +178,13 @@ class SimCache:
         an envelope written under other versions -- counts as a miss; the
         bad entry is evicted so it cannot fail again.
         """
+        if self.degraded:
+            _MISSES.add()
+            return None
         key = self.key(material)
         path = self._path(key)
         try:
+            faults.raise_os_if("simcache.read", key=key)
             with open(path, "rb") as fh:
                 envelope = pickle.load(fh)
             if (
@@ -162,8 +198,25 @@ class SimCache:
         except FileNotFoundError:
             _MISSES.add()
             return None
-        except Exception:
+        except OSError as exc:
+            # EACCES / EIO / injected read fault: stop using the cache.
+            self._degrade("read", exc)
+            _MISSES.add()
+            return None
+        except Exception as exc:
             # Corrupt, truncated, or version-skewed entry: drop it.
+            corruption = CacheCorruptionError(
+                f"unreadable cache entry {path}: {exc}",
+                path=path,
+                reason=str(exc),
+            )
+            _CORRUPT.add()
+            obs.log_event(
+                "simcache_corrupt_entry",
+                level="warning",
+                error=type(corruption).__name__,
+                **corruption.context,
+            )
             self._evict(path)
             _MISSES.add()
             return None
@@ -175,29 +228,42 @@ class SimCache:
 
         Written atomically (temp file + ``os.replace``) so concurrent
         writers and crashing processes can never publish a torn entry.
+        A write that fails with ``OSError`` (full disk, read-only cache
+        directory, injected fault) degrades the cache instead of
+        raising: the computed payload is still returned to the caller's
+        pipeline, it just is not persisted.
         """
         key = self.key(material)
+        if self.degraded:
+            return key
         path = self._path(key)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        envelope = {
-            "schema": SCHEMA_VERSION,
-            "code": code_version(),
-            "key": key,
-            "payload": payload,
-        }
-        fd, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=".tmp-", suffix=_ENTRY_SUFFIX
-        )
+        tmp_path: Optional[str] = None
         try:
+            faults.raise_os_if("simcache.write", key=key)
+            os.makedirs(directory, exist_ok=True)
+            envelope = {
+                "schema": SCHEMA_VERSION,
+                "code": code_version(),
+                "key": key,
+                "payload": payload,
+            }
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=_ENTRY_SUFFIX
+            )
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_path, path)
+        except OSError as exc:
+            if tmp_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_path)
+            self._degrade("write", exc)
+            return key
         except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+            if tmp_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_path)
             raise
         _WRITES.add()
         return key
@@ -238,10 +304,13 @@ class SimCache:
             "bytes": total_bytes,
             "schema_version": SCHEMA_VERSION,
             "code_version": code_version(),
+            "degraded": self.degraded,
             "hits": _HITS.value,
             "misses": _MISSES.value,
             "writes": _WRITES.value,
             "evictions": _EVICTIONS.value,
+            "corrupt_entries": _CORRUPT.value,
+            "degradations": _DEGRADATIONS.value,
         }
 
     def clear(self) -> int:
@@ -305,7 +374,8 @@ def disabled() -> Iterator[None]:
 
 
 def get_cache() -> Optional[SimCache]:
-    """The active cache, or ``None`` when caching is disabled."""
+    """The active cache, or ``None`` when caching is disabled or the
+    active cache has degraded after an I/O failure."""
     global _active
     enabled = (
         _enabled_override
@@ -316,4 +386,6 @@ def get_cache() -> Optional[SimCache]:
         return None
     if _active is None:
         _active = SimCache()
+    if _active.degraded:
+        return None
     return _active

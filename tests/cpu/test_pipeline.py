@@ -208,3 +208,77 @@ class TestPThreadExecution:
         ]
         stats = simulate(trace, pthreads=PThreadProgram.from_spawns(spawns))
         assert stats.cycles >= base.cycles
+
+
+class TestFaultsAndDeadlockDiagnostics:
+    def test_pipeline_step_fault_aborts_simulation(self):
+        from repro import faults
+        from repro.errors import FaultInjectedError
+
+        trace = _alu_loop(20)
+        with faults.active(["pipeline.step:1.0"]):
+            with pytest.raises(FaultInjectedError) as exc_info:
+                simulate(trace)
+        assert exc_info.value.site == "pipeline.step"
+
+    def test_pipeline_step_inactive_plan_is_harmless(self):
+        from repro import faults
+
+        trace = _alu_loop(20)
+        baseline = simulate(trace)
+        # An armed-but-never-firing plan must not perturb timing.
+        with faults.active(["pipeline.step:0.0"]):
+            assert simulate(trace).cycles == baseline.cycles
+
+    def test_deadlock_error_carries_machine_state(self):
+        from collections import deque
+
+        from repro.cpu.pipeline import _deadlock_error
+        from repro.errors import PipelineDeadlockError
+
+        err = _deadlock_error(
+            now=123,
+            committed=7,
+            n_main=50,
+            rob=deque([0]),
+            pc_arr=[0x400],
+            kind_arr=[2],
+            completion=[125],
+            fetch_active=[],
+        )
+        assert isinstance(err, PipelineDeadlockError)
+        assert isinstance(err, ExecutionError)  # deterministic: no retry
+        assert err.context["cycle"] == 123
+        assert err.context["committed"] == 7
+        assert err.context["total"] == 50
+        assert err.context["rob_head"] == {
+            "seq": 0, "pc": 0x400, "kind": 2, "done_at": 125,
+        }
+        assert err.context["fetch_state"] == []
+
+    def test_deadlock_error_reports_pthread_fetch_contexts(self):
+        from collections import deque
+
+        from repro.cpu.pipeline import _Context, _deadlock_error
+
+        spawn = SpawnSpec(
+            static_id=3,
+            trigger_seq=11,
+            insts=(PInstSpec(PInstClass.ALU),),
+        )
+        ctx = _Context(spawn, uid_base=100, now=40)
+        err = _deadlock_error(
+            now=60,
+            committed=0,
+            n_main=10,
+            rob=deque(),
+            pc_arr=[],
+            kind_arr=[],
+            completion=[],
+            fetch_active=[ctx],
+        )
+        assert err.context["rob_head"] is None
+        (state,) = err.context["fetch_state"]
+        assert state["static_id"] == 3
+        assert state["trigger_seq"] == 11
+        assert state["fetched_all"] is False

@@ -74,3 +74,13 @@ def test_machine_override_changes_baseline():
     fast = run_baseline("gap",
                         machine=MachineConfig().with_memory_latency(100))
     assert slow.cycles > fast.cycles
+
+
+def test_invalid_config_fails_before_simulating():
+    from repro.errors import ConfigError
+    from repro.harness.experiment import run_experiment
+
+    with pytest.raises(
+        ConfigError, match=r"MachineConfig\.pipeline_stages"
+    ):
+        run_experiment("gap", machine=MachineConfig(pipeline_stages=3))

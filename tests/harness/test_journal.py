@@ -1,0 +1,126 @@
+"""Tests for the checkpoint/resume journal."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import JournalError
+from repro.harness.journal import JOURNAL_SCHEMA, Journal
+
+
+def _journal(tmp_path):
+    return Journal.for_run_dir(str(tmp_path))
+
+
+def test_missing_file_is_empty_journal(tmp_path):
+    journal = _journal(tmp_path)
+    assert journal.load() == {}
+    assert list(journal.completed_keys()) == []
+
+
+def test_record_and_load_roundtrip(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", {"cycles": 123}, benchmark="gcc")
+    journal.record("cell-b", {"cycles": 456}, benchmark="mcf")
+
+    fresh = _journal(tmp_path)
+    fresh.load()
+    assert set(fresh.completed_keys()) == {"cell-a", "cell-b"}
+    assert fresh.result_for("cell-a") == {"cycles": 123}
+    assert fresh.result_for("cell-b") == {"cycles": 456}
+    assert fresh.result_for("cell-c") is None
+
+
+def test_records_carry_metadata(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1, benchmark="gcc", attempts=2)
+    record = _journal(tmp_path).load()["cell-a"]
+    assert record["benchmark"] == "gcc"
+    assert record["attempts"] == 2
+    assert record["schema"] == JOURNAL_SCHEMA
+
+
+def test_torn_tail_is_ignored_silently(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1)
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"schema": 1, "key": "cell-b", "resu')  # crash artifact
+    entries = _journal(tmp_path).load()
+    assert set(entries) == {"cell-a"}
+
+
+def test_damaged_interior_line_counted_and_skipped(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1)
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write("not json at all\n")
+    journal.record("cell-b", 2)
+
+    before = obs.counters.snapshot()
+    entries = _journal(tmp_path).load()
+    delta = obs.counters.delta_since(before)
+    assert set(entries) == {"cell-a", "cell-b"}
+    assert delta.get("harness.journal.damaged_lines") == 1
+
+
+def test_foreign_schema_records_skipped(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1)
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"schema": 999, "key": "cell-b"}) + "\n")
+    assert set(_journal(tmp_path).load()) == {"cell-a"}
+
+
+def test_corrupt_payload_treated_as_absent(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1)
+    entries = _journal(tmp_path)
+    loaded = entries.load()
+    loaded["cell-a"]["result_b64"] = "!!!not-base64-pickle!!!"
+    assert entries.result_for("cell-a") is None
+
+
+def test_unreadable_journal_raises(tmp_path, monkeypatch):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1)
+
+    real_open = open
+
+    def deny(path, *args, **kwargs):
+        if str(path) == journal.path:
+            raise PermissionError("injected EACCES")
+        return real_open(path, *args, **kwargs)
+
+    monkeypatch.setattr("builtins.open", deny)
+    with pytest.raises(JournalError, match="cannot read journal"):
+        _journal(tmp_path).load()
+
+
+def test_write_failure_degrades_once(tmp_path, monkeypatch):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1)
+
+    real_open = open
+
+    def deny(path, *args, **kwargs):
+        if str(path) == journal.path and "a" in args[0]:
+            raise OSError(28, "injected ENOSPC")
+        return real_open(path, *args, **kwargs)
+
+    monkeypatch.setattr("builtins.open", deny)
+    before = obs.counters.snapshot()
+    journal.record("cell-b", 2)  # degrades, does not raise
+    journal.record("cell-c", 3)  # already degraded: silent no-op
+    delta = obs.counters.delta_since(before)
+    assert delta.get("harness.journal.degradations") == 1
+    monkeypatch.undo()
+    assert set(_journal(tmp_path).load()) == {"cell-a"}
+
+
+def test_discard_removes_file(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record("cell-a", 1)
+    journal.discard()
+    assert _journal(tmp_path).load() == {}
+    journal.discard()  # idempotent on a missing file

@@ -137,3 +137,91 @@ def test_disabled_context_manager(tmp_path):
         assert simcache.get_cache() is not None
     finally:
         simcache.reset()
+
+
+# --------------------------------------------------------------------- #
+# I/O degradation: a failing cache must never abort the run it was
+# merely accelerating.
+# --------------------------------------------------------------------- #
+
+
+def test_write_fault_degrades_once(cache):
+    from repro import faults, obs
+
+    before = obs.counters.snapshot()
+    with faults.active(["simcache.write:1.0"]):
+        key = cache.put({"benchmark": "gcc"}, "payload")
+        assert key  # the caller still gets its key back
+        assert cache.degraded
+        cache.put({"benchmark": "mcf"}, "other")  # silent no-op now
+    delta = obs.counters.delta_since(before)
+    assert delta.get("harness.simcache.degradations") == 1
+    assert not delta.get("harness.simcache.writes", 0)
+
+
+def test_read_fault_degrades_to_permanent_miss(cache):
+    from repro import faults
+
+    material = {"benchmark": "vpr"}
+    cache.put(material, "stored")
+    with faults.active(["simcache.read:1.0"]):
+        assert cache.get(material) is None
+    assert cache.degraded
+    # Degraded even after the fault plan is gone: entry stays invisible.
+    assert cache.get(material) is None
+
+
+def test_enospc_on_put_degrades_instead_of_raising(cache, monkeypatch):
+    def no_space(src, dst):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(os, "replace", no_space)
+    cache.put({"benchmark": "gcc"}, "payload")  # must not raise
+    assert cache.degraded
+    monkeypatch.undo()
+    # Payload was dropped, not torn: directory holds no temp litter.
+    names = []
+    for _, _, files in os.walk(cache.root):
+        names.extend(files)
+    assert all(not n.startswith(".tmp-") for n in names)
+
+
+def test_permission_error_on_put_degrades(cache, monkeypatch):
+    def denied(path, exist_ok=False):
+        raise PermissionError(13, "Permission denied")
+
+    monkeypatch.setattr(os, "makedirs", denied)
+    cache.put({"benchmark": "gcc"}, "payload")  # must not raise
+    assert cache.degraded
+
+
+@pytest.mark.skipif(
+    os.geteuid() == 0, reason="root ignores directory permissions"
+)
+def test_readonly_cache_dir_degrades(tmp_path):
+    root = tmp_path / "ro-cache"
+    root.mkdir()
+    os.chmod(root, 0o500)
+    try:
+        cache = SimCache(str(root))
+        cache.put({"benchmark": "gcc"}, "payload")  # must not raise
+        assert cache.degraded
+    finally:
+        os.chmod(root, 0o700)
+
+
+def test_degraded_cache_leaves_get_cache_none(tmp_path, monkeypatch):
+    simcache.reset()
+    try:
+        simcache.configure(cache_dir=str(tmp_path / "c"))
+        cache = simcache.get_cache()
+        assert cache is not None
+
+        def no_space(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "replace", no_space)
+        cache.put({"benchmark": "gcc"}, "payload")
+        assert simcache.get_cache() is None  # callers skip hashing too
+    finally:
+        simcache.reset()

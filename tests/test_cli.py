@@ -98,3 +98,48 @@ def test_bench_writes_json(tmp_path, capsys):
     capsys.readouterr()
     payload = json.loads(open(out_file).read())
     assert payload["simulator"]
+
+
+# --------------------------------------------------------------------- #
+# Robustness flags
+# --------------------------------------------------------------------- #
+
+
+def test_inject_fault_bad_spec_exits_2(capsys):
+    assert main(["run", "gap", "--inject-fault", "worker.nap:0.5"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown fault site" in err
+
+
+def test_inject_fault_malformed_prob_exits_2(capsys):
+    assert main(["run", "gap", "--inject-fault", "worker.run:lots"]) == 2
+    assert "expected SITE:prob" in capsys.readouterr().err
+
+
+def test_resume_without_out_exits_2(capsys):
+    assert main(["figure3", "--resume"]) == 2
+    assert "--resume requires --out" in capsys.readouterr().err
+
+
+def test_manifest_write_fault_is_tolerated(tmp_path, capsys):
+    out = str(tmp_path / "artifacts")
+    code = main(
+        ["run", "gap", "--quiet", "--out", out,
+         "--inject-fault", "manifest.write:1.0"]
+    )
+    assert code == 0  # results printed; provenance failure is non-fatal
+    err = capsys.readouterr().err
+    assert "could not write artifacts" in err
+    import os
+
+    assert not os.path.exists(os.path.join(out, "manifest.json"))
+
+
+def test_fault_plan_does_not_leak_between_invocations(tmp_path, capsys):
+    from repro import faults
+
+    out = str(tmp_path / "artifacts")
+    main(["run", "gap", "--quiet", "--out", out,
+          "--inject-fault", "manifest.write:1.0"])
+    capsys.readouterr()
+    assert not faults.site_active("manifest.write")

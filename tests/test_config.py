@@ -118,3 +118,72 @@ class TestSimulationConfig:
             SimulationConfig(sample_fraction=0.0)
         with pytest.raises(ConfigError):
             SimulationConfig(warmup_fraction=1.0)
+
+
+class TestValidate:
+    """``validate()`` names the offending field and its legal range,
+    catching values that pass ``__post_init__``'s coarse checks."""
+
+    def test_defaults_all_validate(self):
+        assert MachineConfig().validate() is not None
+        assert EnergyConfig().validate() is not None
+        assert SelectionConfig().validate() is not None
+        assert SimulationConfig().validate() is not None
+
+    def test_validate_returns_self(self):
+        machine = MachineConfig()
+        assert machine.validate() is machine
+
+    def test_error_names_field_and_range(self):
+        with pytest.raises(
+            ConfigError, match=r"MachineConfig\.pipeline_stages = 3"
+        ):
+            MachineConfig(pipeline_stages=3).validate()
+
+    def test_machine_cross_field_constraints(self):
+        with pytest.raises(ConfigError, match="pthread_rs_reserve"):
+            MachineConfig(rs_entries=8, pthread_rs_reserve=8).validate()
+        with pytest.raises(ConfigError, match="physical_registers"):
+            MachineConfig(physical_registers=64).validate()
+
+    def test_machine_power_of_two_fields(self):
+        with pytest.raises(ConfigError, match="page_bytes"):
+            MachineConfig(page_bytes=3000).validate()
+        with pytest.raises(ConfigError, match="bpred_entries"):
+            MachineConfig(bpred_entries=1000).validate()
+
+    def test_machine_pthread_fetch_ipc_bounds(self):
+        with pytest.raises(ConfigError, match="pthread_fetch_ipc"):
+            MachineConfig(pthread_fetch_ipc=0.0).validate()
+        with pytest.raises(ConfigError, match="pthread_fetch_ipc"):
+            MachineConfig(pthread_fetch_ipc=7.5).validate()
+
+    def test_machine_validates_cache_subconfigs(self):
+        bad_l2 = CacheConfig(256 * 1024, 4, 64, 12)
+        object.__setattr__(bad_l2, "hit_latency", 0)
+        with pytest.raises(ConfigError, match=r"l2\.hit_latency"):
+            MachineConfig(l2=bad_l2).validate()
+
+    def test_energy_access_fraction_bounds(self):
+        with pytest.raises(ConfigError, match="e_l2_access"):
+            EnergyConfig(e_l2_access=1.5).validate()
+
+    def test_energy_physical_parameters(self):
+        with pytest.raises(ConfigError, match="frequency_ghz"):
+            EnergyConfig(frequency_ghz=0.0).validate()
+        with pytest.raises(ConfigError, match="vdd"):
+            EnergyConfig(vdd=-1.0).validate()
+
+    def test_selection_ranges(self):
+        with pytest.raises(ConfigError, match="min_miss_share"):
+            SelectionConfig(min_miss_share=1.5).validate()
+        with pytest.raises(ConfigError, match="embedded_latency_factor"):
+            SelectionConfig(embedded_latency_factor=0.5).validate()
+        with pytest.raises(ConfigError, match="min_gain_cycles"):
+            SelectionConfig(min_gain_cycles=-1).validate()
+
+    def test_simulation_seed_non_negative(self):
+        with pytest.raises(ConfigError, match="seed"):
+            SimulationConfig(seed=-1).validate()
+        with pytest.raises(ConfigError, match="sample_instructions"):
+            SimulationConfig(sample_instructions=0).validate()

@@ -1,0 +1,105 @@
+"""End-to-end clean-shutdown test: SIGTERM mid-grid must leave no
+orphan workers, a flushed journal, and a manifest marked interrupted;
+re-running with ``--resume`` must finish the grid without re-executing
+the journaled cells.
+
+Runs the real CLI in a subprocess (its own session, so the whole
+process group -- parent plus pool workers -- can be checked for
+survivors afterwards).
+"""
+
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _group_gone(pgid: int) -> bool:
+    try:
+        os.killpg(pgid, 0)
+    except ProcessLookupError:
+        return True
+    return False
+
+
+def _cli(out, *extra, env):
+    return [
+        sys.executable, "-m", "repro", "figure3",
+        "--benchmarks", "parser", "--jobs", "2", "--out", out, *extra,
+    ]
+
+
+@pytest.mark.slow
+def test_sigterm_mid_grid_then_resume(tmp_path):
+    out = str(tmp_path / "artifacts")
+    journal_path = os.path.join(out, "journal.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["REPRO_CACHE"] = "0"  # force real work so the grid is mid-flight
+    proc = subprocess.Popen(
+        _cli(out, env=env),
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    pgid = proc.pid  # == the new session's process-group id
+    try:
+        # Interrupt only once the grid is demonstrably mid-flight:
+        # at least one cell journaled, more still running.
+        deadline = time.monotonic() + 120.0
+        while not os.path.exists(journal_path):
+            assert proc.poll() is None, "grid finished before the signal"
+            assert time.monotonic() < deadline, "no cell completed"
+            time.sleep(0.1)
+        assert proc.poll() is None, "grid finished before the signal"
+        proc.send_signal(signal.SIGTERM)
+        stderr = proc.communicate(timeout=60)[1]
+    except BaseException:
+        with contextlib.suppress(ProcessLookupError):
+            os.killpg(pgid, signal.SIGKILL)
+        raise
+
+    assert proc.returncode == 130, stderr
+    assert "interrupted" in stderr
+
+    # The journal was flushed per record and survives the interrupt.
+    with open(journal_path) as fh:
+        completed = [json.loads(line) for line in fh if line.strip()]
+    assert 1 <= len(completed) < 4  # mid-grid: some cells, not all
+
+    # The manifest records the interruption.
+    with open(os.path.join(out, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    assert manifest["interrupted"] is True
+    assert manifest["command"] == "figure3"
+
+    # No orphans: every process in the child's group is gone.
+    deadline = time.monotonic() + 10.0
+    while not _group_gone(pgid):
+        assert time.monotonic() < deadline, "orphan worker processes"
+        time.sleep(0.2)
+
+    # Resume: only the unfinished cells execute; the run completes.
+    result = subprocess.run(
+        _cli(out, "--resume", env=env),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert f"resuming: {len(completed)} cell(s)" in result.stderr
+    with open(os.path.join(out, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    assert "interrupted" not in manifest
+    assert manifest["degraded"] is False
+    assert manifest["n_rows"] == 4  # the full parser grid
