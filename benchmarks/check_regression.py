@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Compare a fresh ``repro bench --quick`` payload against the committed
+baseline and fail on regression.
+
+Two kinds of checks:
+
+- **Determinism** (exact): per-benchmark ``cycles`` and ``committed``
+  must match the baseline bit-for-bit.  These are machine-independent;
+  any difference means the simulator's behavior changed, which a perf PR
+  must never do silently.
+- **Throughput** (tolerance band): per-benchmark ``cycles_per_sec`` may
+  not drop, and the grid walls (``sequential_uncached_wall_s``,
+  ``cold_wall_s``) may not grow, by more than ``--tolerance`` (a
+  fraction; default 0.5 to absorb CI-runner variance).  Machines faster
+  or slower than the baseline host pass as long as they are uniformly
+  so; only a lopsided slowdown -- the shape of a code regression --
+  trips the guard.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/bench_baseline_quick.json \
+        --current bench-quick.json [--tolerance 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def _simulator_by_benchmark(payload: Dict) -> Dict[str, Dict]:
+    return {row["benchmark"]: row for row in payload.get("simulator", [])}
+
+
+def compare(baseline: Dict, current: Dict, tolerance: float) -> List[str]:
+    """Return a list of human-readable failure messages (empty = pass)."""
+    failures: List[str] = []
+    base_sim = _simulator_by_benchmark(baseline)
+    cur_sim = _simulator_by_benchmark(current)
+
+    for name, base_row in base_sim.items():
+        cur_row = cur_sim.get(name)
+        if cur_row is None:
+            failures.append(f"simulator[{name}]: missing from current run")
+            continue
+        for exact in ("cycles", "committed"):
+            if cur_row.get(exact) != base_row.get(exact):
+                failures.append(
+                    f"simulator[{name}].{exact}: determinism break -- "
+                    f"baseline {base_row.get(exact)} vs "
+                    f"current {cur_row.get(exact)}"
+                )
+        base_tp = float(base_row.get("cycles_per_sec", 0) or 0)
+        cur_tp = float(cur_row.get("cycles_per_sec", 0) or 0)
+        floor = base_tp * (1.0 - tolerance)
+        if base_tp and cur_tp < floor:
+            failures.append(
+                f"simulator[{name}].cycles_per_sec: {cur_tp:,.0f} < "
+                f"floor {floor:,.0f} (baseline {base_tp:,.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+
+    base_grid = baseline.get("figure_grid", {})
+    cur_grid = current.get("figure_grid", {})
+    for metric in ("sequential_uncached_wall_s", "cold_wall_s"):
+        base_wall = base_grid.get(metric)
+        cur_wall = cur_grid.get(metric)
+        if base_wall is None or cur_wall is None:
+            continue
+        if float(base_wall) < 1.0:
+            # Sub-second walls are noise-dominated; the band would be
+            # narrower than scheduler jitter.
+            continue
+        ceiling = float(base_wall) * (1.0 + tolerance)
+        if float(cur_wall) > ceiling:
+            failures.append(
+                f"figure_grid.{metric}: {cur_wall}s > ceiling "
+                f"{ceiling:.2f}s (baseline {base_wall}s, "
+                f"tolerance {tolerance:.0%})"
+            )
+    if base_grid.get("rows") != cur_grid.get("rows"):
+        failures.append(
+            f"figure_grid.rows: baseline {base_grid.get('rows')} vs "
+            f"current {cur_grid.get('rows')}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional slowdown before failing (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    failures = compare(baseline, current, args.tolerance)
+    base_sim = _simulator_by_benchmark(baseline)
+    cur_sim = _simulator_by_benchmark(current)
+    print(f"bench regression check (tolerance {args.tolerance:.0%})")
+    for name in sorted(set(base_sim) | set(cur_sim)):
+        b = base_sim.get(name, {})
+        c = cur_sim.get(name, {})
+        print(
+            f"  {name:>10}: cycles/s {b.get('cycles_per_sec', '?'):>12} -> "
+            f"{c.get('cycles_per_sec', '?'):>12}"
+        )
+    for metric in ("sequential_uncached_wall_s", "cold_wall_s",
+                   "warm_wall_s"):
+        b = baseline.get("figure_grid", {}).get(metric)
+        c = current.get("figure_grid", {}).get(metric)
+        if b is not None or c is not None:
+            print(f"  {metric}: {b}s -> {c}s")
+
+    if failures:
+        print("\nREGRESSIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

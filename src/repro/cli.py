@@ -64,6 +64,7 @@ from repro.config import (
     SimulationConfig,
 )
 from repro.errors import ConfigError
+from repro.frontend import columns
 from repro.harness import figures, simcache
 from repro.harness.experiment import run_experiment
 from repro.harness.figures import result_row
@@ -149,6 +150,12 @@ def _parser() -> argparse.ArgumentParser:
         metavar="SITE:PROB[:SEED]",
         help="deterministically inject faults at SITE with probability "
         "PROB (repeatable; sites: " + ", ".join(faults.SITES) + ")",
+    )
+    obs_flags.add_argument(
+        "--numpy",
+        action="store_true",
+        help="force the NumPy trace-column backend (default: auto; "
+        "REPRO_NUMPY=0/1 also selects it)",
     )
 
     parser = argparse.ArgumentParser(
@@ -310,6 +317,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "inject_fault", None):
         try:
             faults.configure(args.inject_fault)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if getattr(args, "numpy", False):
+        try:
+            columns.set_backend("numpy")
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

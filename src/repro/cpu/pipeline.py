@@ -33,7 +33,7 @@ from repro.cpu.pthreads import PInstClass, PThreadProgram, SpawnSpec
 from repro.cpu.stats import SimStats
 from repro.errors import ExecutionError, PipelineDeadlockError
 from repro.frontend.trace import NO_PRODUCER, Trace
-from repro.isa.opcodes import OpClass
+from repro.isa.opcodes import CLASS_BY_CODE, OpClass, WRITES_BY_CODE
 from repro.memory.hierarchy import MemoryHierarchy
 
 #: Bytes per instruction when mapping PCs into the I-cache address space.
@@ -75,50 +75,49 @@ _PCLASS_TO_KIND = {
 # Control classes on the fetch path.
 _CTRL_NONE, _CTRL_BRANCH, _CTRL_JUMP = range(3)
 
+# Per-dense-opcode hot-loop tables: code -> entry kind / control class.
+_KIND_BY_CODE = tuple(_CLASS_TO_KIND[cls] for cls in CLASS_BY_CODE)
+_CTRL_BY_CODE = tuple(
+    _CTRL_BRANCH if cls is OpClass.BRANCH
+    else _CTRL_JUMP if cls is OpClass.JUMP
+    else _CTRL_NONE
+    for cls in CLASS_BY_CODE
+)
 
-def _trace_arrays(trace: Trace) -> Tuple[List, ...]:
+
+def _pipeline_view(trace: Trace) -> Tuple[List, ...]:
     """Flat per-instruction arrays for the hot loop, memoized on the trace.
 
     The per-cycle closures index plain lists instead of chasing
-    ``DynInst -> Op -> OpClass`` attribute/property/enum-hash chains (the
-    top cost center of the interpreter loop).  A trace is simulated many
-    times across an experiment grid (baseline + profile + per-target
-    augmented runs), so the one-time flattening amortizes immediately.
+    ``DynInst -> Op -> OpClass`` attribute/property/enum-hash chains.  The
+    kind/ctrl/writes columns are one table-lookup sweep over the trace's
+    dense opcode column; the value columns are the trace's own shared
+    lists, borrowed read-only.  Sequence numbers equal trace indices, so
+    no seq column is needed.  A trace is simulated many times across an
+    experiment grid (baseline + profile + per-target augmented runs, and
+    -- with the trace memo -- many cells), so the one-time sweep
+    amortizes immediately.
     """
-    arrays = getattr(trace, "_pipeline_arrays", None)
-    if arrays is None:
-        insts = trace.insts
-        # Per-Op lookups keyed by object id: a C-level int hash instead of
-        # the Python-level enum ``__hash__`` + ``op_class`` property chain.
-        per_op = {}
-        for op in {dyn.op for dyn in insts}:
-            op_class = op.op_class
-            if op_class is OpClass.BRANCH:
-                ctrl_code = _CTRL_BRANCH
-            elif op_class is OpClass.JUMP:
-                ctrl_code = _CTRL_JUMP
-            else:
-                ctrl_code = _CTRL_NONE
-            per_op[id(op)] = (
-                _CLASS_TO_KIND[op_class],
-                ctrl_code,
-                op.writes_register,
-            )
-        ops = [per_op[id(dyn.op)] for dyn in insts]
-        arrays = (
-            [o[0] for o in ops],                 # kind
-            [o[1] for o in ops],                 # ctrl
-            [o[2] for o in ops],                 # writes_register
-            [dyn.pc for dyn in insts],
-            [dyn.addr for dyn in insts],
-            [dyn.src1_seq for dyn in insts],
-            [dyn.src2_seq for dyn in insts],
-            [dyn.taken for dyn in insts],
-            [dyn.next_pc for dyn in insts],
-            [dyn.seq for dyn in insts],
+    view = trace.derived.get("pipeline")
+    if view is None:
+        L = trace.as_lists()
+        kinds = _KIND_BY_CODE
+        ctrls = _CTRL_BY_CODE
+        writes = WRITES_BY_CODE
+        codes = L.op_code
+        view = (
+            [kinds[c] for c in codes],           # kind
+            [ctrls[c] for c in codes],           # ctrl
+            [writes[c] for c in codes],          # writes_register
+            L.pc,
+            L.addr,
+            L.src1,
+            L.src2,
+            [t != 0 for t in L.taken],
+            L.next_pc,
         )
-        trace._pipeline_arrays = arrays
-    return arrays
+        trace.derived["pipeline"] = view
+    return view
 
 
 class _Entry:
@@ -248,13 +247,14 @@ class Pipeline:
         hierarchy = self.hierarchy
         line_insts = self.config.icache.line_bytes // INST_BYTES
         seen_lines = set()
-        for dyn in self.trace.insts:
-            line = dyn.pc // line_insts
+        L = self.trace.as_lists()
+        for pc, addr in zip(L.pc, L.addr):
+            line = pc // line_insts
             if line not in seen_lines:
                 seen_lines.add(line)
-                hierarchy.warm_inst(dyn.pc * INST_BYTES)
-            if dyn.addr >= 0:
-                hierarchy.warm_data(dyn.addr)
+                hierarchy.warm_inst(pc * INST_BYTES)
+            if addr >= 0:
+                hierarchy.warm_data(addr)
 
     # ------------------------------------------------------------------ #
 
@@ -268,8 +268,7 @@ class Pipeline:
 
         cfg = self.config
         trace = self.trace
-        insts = trace.insts
-        n_main = len(insts)
+        n_main = len(trace)
         stats = self.stats
         act = stats.activity
         hierarchy = self.hierarchy
@@ -278,7 +277,7 @@ class Pipeline:
         # per-cycle closures never resolve attributes, properties, or
         # enum-keyed dicts on the critical path.
         (kind_arr, ctrl_arr, writes_arr, pc_arr, addr_arr, src1_arr,
-         src2_arr, taken_arr, next_pc_arr, seq_arr) = _trace_arrays(trace)
+         src2_arr, taken_arr, next_pc_arr) = _pipeline_view(trace)
         heappush = heapq.heappush
         heappop = heapq.heappop
         data_access = hierarchy.data_access
@@ -688,7 +687,7 @@ class Pipeline:
                     stats.branches += 1
                     act.bpred_accesses += 1
                     predicted = predict_and_update(pc, taken)
-                    hint = branch_hints.get(seq_arr[idx])
+                    hint = branch_hints.get(idx)
                     if hint is not None and hint[0] <= now:
                         # A branch p-thread pre-computed this outcome in
                         # time: fetch follows the hint instead of the
@@ -697,7 +696,7 @@ class Pipeline:
                         predicted = hint[1]
                     if predicted != taken:
                         stats.mispredictions += 1
-                        pending_redirect = seq_arr[idx]
+                        pending_redirect = idx
                         redirect_clear_at = None
                         break
                     if taken:

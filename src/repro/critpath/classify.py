@@ -11,13 +11,14 @@ wrong-path spawn rates).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 from repro.branch.predictors import HybridPredictor
 from repro.config import MachineConfig
 from repro.frontend.trace import Trace
-from repro.isa.opcodes import Op
+from repro.isa.opcodes import BRANCH_CODES, LD_CODE, ST_CODE
 from repro.memory.cache import Cache
 
 #: Load service levels.
@@ -102,13 +103,18 @@ def classify_trace(
     predictor = HybridPredictor(config.bpred_entries)
     result = LoadClassification()
 
+    L = trace.as_lists()
     if warm:
-        for dyn in trace:
-            if dyn.addr >= 0:
-                if not dcache.access(dyn.addr):
-                    if not l2.access(dyn.addr):
-                        l2.fill(dyn.addr)
-                    dcache.fill(dyn.addr)
+        dc_access = dcache.access
+        l2_access = l2.access
+        l2_fill = l2.fill
+        dc_fill = dcache.fill
+        for addr in L.addr:
+            if addr >= 0:
+                if not dc_access(addr):
+                    if not l2_access(addr):
+                        l2_fill(addr)
+                    dc_fill(addr)
 
     service = result.service
     miss_counts = result.miss_counts
@@ -123,42 +129,97 @@ def classify_trace(
     merge_window = config.rob_entries
     _LEVEL_INDEX = {L1: 0, L2: 1, MEM: 2}
 
-    for dyn in trace:
-        op = dyn.op
-        if op is Op.LD:
-            pc = dyn.pc
+    dc_access = dcache.access
+    l2_access = l2.access
+    l2_fill = l2.fill
+    dc_fill = dcache.fill
+    predict_and_update = predictor.predict_and_update
+    branch_counts = result.branch_counts
+    mispredicted = result.mispredicted
+    recent_miss_get = recent_miss.get
+    ld_code = LD_CODE
+    st_code = ST_CODE
+    branch_codes = BRANCH_CODES
+
+    for seq, (pc, code, addr, taken) in enumerate(
+        zip(L.pc, L.op_code, L.addr, L.taken)
+    ):
+        if code == ld_code:
             load_counts[pc] = load_counts.get(pc, 0) + 1
-            line = dyn.addr >> line_shift
-            if dcache.access(dyn.addr):
+            line = addr >> line_shift
+            if dc_access(addr):
                 level = L1
             else:
                 l1_miss_counts[pc] = l1_miss_counts.get(pc, 0) + 1
-                if l2.access(dyn.addr):
+                if l2_access(addr):
                     level = L2
                 else:
                     level = MEM
                     miss_counts[pc] = miss_counts.get(pc, 0) + 1
                     result.total_l2_misses += 1
-                    recent_miss[line] = dyn.seq
-                    l2.fill(dyn.addr)
-                dcache.fill(dyn.addr)
+                    recent_miss[line] = seq
+                    l2_fill(addr)
+                dc_fill(addr)
             if level != MEM:
-                initiator = recent_miss.get(line)
-                if initiator is not None and dyn.seq - initiator <= merge_window:
+                initiator = recent_miss_get(line)
+                if initiator is not None and seq - initiator <= merge_window:
                     level = MEM  # would merge with the in-flight fill
-            service[dyn.seq] = level
+            service[seq] = level
             counts = service_counts.setdefault(pc, [0, 0, 0])
             counts[_LEVEL_INDEX[level]] += 1
-        elif op is Op.ST:
-            if not dcache.access(dyn.addr, is_write=True):
-                if not l2.access(dyn.addr):
-                    l2.fill(dyn.addr)
-                dcache.fill(dyn.addr, dirty=True)
-        elif op.is_branch:
-            predicted = predictor.predict_and_update(dyn.pc, dyn.taken)
-            entry = result.branch_counts.setdefault(dyn.pc, [0, 0])
+        elif code == st_code:
+            if not dc_access(addr, is_write=True):
+                if not l2_access(addr):
+                    l2_fill(addr)
+                dc_fill(addr, dirty=True)
+        elif code in branch_codes:
+            taken_b = taken != 0
+            predicted = predict_and_update(pc, taken_b)
+            entry = branch_counts.setdefault(pc, [0, 0])
             entry[0] += 1
-            if predicted != dyn.taken:
+            if predicted != taken_b:
                 entry[1] += 1
-                result.mispredicted.add(dyn.seq)
+                mispredicted.add(seq)
     return result
+
+
+def analysis_memo_enabled() -> bool:
+    """Whether machine-independent analysis artifacts (classification,
+    slice trees, cost functions, augmented runs) may be shared across
+    the cells of a sweep.  ``REPRO_ANALYSIS_MEMO=0`` disables sharing,
+    recomputing every cell independently."""
+    return os.environ.get("REPRO_ANALYSIS_MEMO", "").strip() != "0"
+
+
+def profile_geometry_key(config: MachineConfig, warm: bool = True) -> Tuple:
+    """The machine parameters the functional profile actually depends
+    on: cache geometry, predictor size, and the MSHR-merge window (ROB
+    depth) -- NOT latencies.  Sweeps that vary only latency share one
+    classification per trace."""
+    d, l2c = config.dcache, config.l2
+    return (
+        d.size_bytes, d.assoc, d.line_bytes,
+        l2c.size_bytes, l2c.assoc, l2c.line_bytes,
+        config.bpred_entries, config.rob_entries, warm,
+    )
+
+
+def classify_trace_cached(
+    trace: Trace, config: MachineConfig | None = None, warm: bool = True
+) -> LoadClassification:
+    """Memoizing wrapper over :func:`classify_trace`.
+
+    The profile is a deterministic function of the trace and the cache /
+    predictor geometry, so the result is memoized on the trace itself
+    (``trace.derived``) keyed by :func:`profile_geometry_key`.  The
+    returned object is shared and must be treated as read-only.
+    """
+    config = config or MachineConfig()
+    if not analysis_memo_enabled():
+        return classify_trace(trace, config, warm)
+    key = ("classify", profile_geometry_key(config, warm))
+    cached = trace.derived.get(key)
+    if cached is None:
+        cached = classify_trace(trace, config, warm)
+        trace.derived[key] = cached
+    return cached

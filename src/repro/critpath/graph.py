@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import MachineConfig
 from repro.critpath.classify import L1, L2, MEM, LoadClassification
 from repro.frontend.trace import NO_PRODUCER, Trace
-from repro.isa.opcodes import Op, OpClass
+from repro.isa.opcodes import CLASS_BY_CODE, LD_CODE, OpClass
 
 
 def service_latency(level: str, config: MachineConfig) -> int:
@@ -59,38 +59,51 @@ class ForwardPass:
 
         cfg = self.config
         # Pre-extract per-instruction static latencies and dependences for
-        # speed; load latencies are replaced per run() call.
-        self._base_latency: List[float] = []
-        self._is_load: List[bool] = []
-        self._mispredicted: List[bool] = []
-        self._src1: List[int] = []
-        self._src2: List[int] = []
-        mispredicted = (
-            classification.mispredicted if classification else set()
-        )
-        for seq in range(self.start, self.end):
-            dyn = trace[seq]
-            cls = dyn.op.op_class
-            if cls is OpClass.LOAD:
-                level = (
-                    classification.service.get(dyn.seq, L1)
-                    if classification
-                    else L1
-                )
-                lat = float(service_latency(level, cfg))
-                self._is_load.append(True)
-            else:
-                self._is_load.append(False)
-                if cls is OpClass.MUL:
-                    lat = float(cfg.mul_latency)
-                elif cls in (OpClass.NOP, OpClass.HALT, OpClass.JUMP):
-                    lat = 0.0
+        # speed (column sweeps over the trace's shared lists rather than
+        # per-object attribute walks); load latencies are replaced per
+        # run() call.
+        start, end = self.start, self.end
+        L = trace.as_lists()
+        codes = L.op_code
+        # code -> fixed latency for non-load instructions.
+        lat_by_code = [
+            float(cfg.mul_latency) if cls is OpClass.MUL
+            else 0.0 if cls in (OpClass.NOP, OpClass.HALT, OpClass.JUMP)
+            else 1.0
+            for cls in CLASS_BY_CODE
+        ]
+        lat_by_level = {
+            level: float(service_latency(level, cfg))
+            for level in (L1, L2, MEM)
+        }
+        service_get = classification.service.get if classification else None
+        l1_lat = lat_by_level[L1]
+
+        base_latency: List[float] = []
+        is_load: List[bool] = []
+        ld_code = LD_CODE
+        for seq in range(start, end):
+            code = codes[seq]
+            if code == ld_code:
+                is_load.append(True)
+                if service_get is not None:
+                    base_latency.append(lat_by_level[service_get(seq, L1)])
                 else:
-                    lat = 1.0
-            self._base_latency.append(lat)
-            self._mispredicted.append(dyn.seq in mispredicted)
-            self._src1.append(dyn.src1_seq)
-            self._src2.append(dyn.src2_seq)
+                    base_latency.append(l1_lat)
+            else:
+                is_load.append(False)
+                base_latency.append(lat_by_code[code])
+        self._base_latency = base_latency
+        self._is_load = is_load
+
+        mispred = [False] * (end - start)
+        if classification is not None:
+            for seq in classification.mispredicted:
+                if start <= seq < end:
+                    mispred[seq - start] = True
+        self._mispredicted = mispred
+        self._src1 = L.src1[start:end]
+        self._src2 = L.src2[start:end]
 
     def __len__(self) -> int:
         return self.end - self.start

@@ -112,10 +112,12 @@ def build_cost_functions(
     # Misses per problem pc inside the window.
     window_misses: Dict[int, List[int]] = {pc: [] for pc in problem_pcs}
     all_miss_seqs: List[int] = []
+    pc_l = trace.as_lists().pc
+    service_get = classification.service.get
     for seq in fp.load_seqs():
-        if classification.service.get(seq) == MEM:
+        if service_get(seq) == MEM:
             all_miss_seqs.append(seq)
-            pc = trace[seq].pc
+            pc = pc_l[seq]
             if pc in window_misses:
                 window_misses[pc].append(seq)
 

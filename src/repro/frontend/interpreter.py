@@ -5,6 +5,14 @@ exact 64-bit semantics and records, per dynamic instruction, the register
 dataflow (producer sequence numbers), memory addresses, and resolved branch
 directions.  An optional per-PC hook lets the DDMT layer observe
 architectural state at trigger points to expand p-thread spawns.
+
+The trace is emitted directly into preallocated flat columns (stdlib
+``array('q')``/``array('b')``, sealed to the active
+:mod:`~repro.frontend.columns` backend) and the static program is decoded
+once into flat per-PC dispatch tuples, so the dynamic loop never chases
+``StaticInst -> Op -> OpClass`` attribute/property/enum-hash chains.  The
+retained object-path implementation in :mod:`repro.frontend.reference` is
+the bit-identity oracle this emitter is tested against.
 """
 
 from __future__ import annotations
@@ -12,13 +20,36 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExecutionError
-from repro.frontend.trace import NO_PRODUCER, DynInst, Trace
+from repro.frontend.columns import (
+    TraceColumns,
+    grow_int64,
+    grow_int8,
+    int64_buffer,
+    int8_buffer,
+)
+from repro.frontend.trace import NO_PRODUCER, Trace
 from repro.isa.instruction import Program
-from repro.isa.opcodes import IMMEDIATE_OPS, Op, OpClass
+from repro.isa.opcodes import (
+    ALU_SEMANTICS,
+    BRANCH_SEMANTICS,
+    CODE_BY_OP,
+    IMMEDIATE_OPS,
+    Op,
+    OpClass,
+)
 from repro.isa.registers import NUM_ARCH_REGS, ZERO
 
 #: Hook called after a watched static PC executes: (seq, state).
 PcHook = Callable[[int, "InterpreterState"], None]
+
+#: Initial column capacity; buffers double (bounded by max_instructions)
+#: when a trace outgrows it, so tiny test programs don't preallocate
+#: megabytes per interpretation.
+_INITIAL_CAPACITY = 1 << 16
+
+# Decoded dispatch categories, ordered roughly by dynamic frequency.
+(_C_ALU_IMM, _C_ALU_RR, _C_LOAD, _C_BRANCH, _C_STORE, _C_LI, _C_MOV,
+ _C_JUMP, _C_NOP, _C_HALT) = range(10)
 
 
 class InterpreterState:
@@ -42,6 +73,57 @@ class InterpreterState:
         return self.memory.get(addr & ~7, 0)
 
 
+def _decode(program: Program) -> tuple:
+    """Flat per-PC dispatch tuples ``(cat, code, rd, rs1, rs2, ext, fn)``.
+
+    ``rd`` is -1 when the instruction writes no architectural register
+    (including writes to the hardwired zero register); ``ext`` carries the
+    immediate or the control target; ``fn`` the ALU/branch semantics
+    callable.  Memoized on the program -- programs are immutable once
+    built (the same convention ``fingerprint()`` relies on).
+    """
+    table = getattr(program, "_decode_table", None)
+    if table is not None:
+        return table
+    rows = []
+    for inst in program.instructions:
+        op = inst.op
+        code = CODE_BY_OP[op]
+        cls = op.op_class
+        rd = inst.rd if inst.rd is not None and inst.rd != ZERO else -1
+        if cls is OpClass.ALU or cls is OpClass.MUL:
+            if op is Op.LI:
+                row = (_C_LI, code, rd, 0, 0, inst.imm, None)
+            elif op is Op.MOV:
+                row = (_C_MOV, code, rd, inst.rs1, 0, 0, None)
+            elif op in IMMEDIATE_OPS:
+                row = (_C_ALU_IMM, code, rd, inst.rs1, 0, inst.imm,
+                       ALU_SEMANTICS[op])
+            else:
+                row = (_C_ALU_RR, code, rd, inst.rs1, inst.rs2, 0,
+                       ALU_SEMANTICS[op])
+        elif cls is OpClass.LOAD:
+            row = (_C_LOAD, code, rd, inst.rs1, 0, inst.imm or 0, None)
+        elif cls is OpClass.STORE:
+            row = (_C_STORE, code, -1, inst.rs1, inst.rs2, inst.imm or 0,
+                   None)
+        elif cls is OpClass.BRANCH:
+            row = (_C_BRANCH, code, -1, inst.rs1, inst.rs2, inst.target,
+                   BRANCH_SEMANTICS[op])
+        elif cls is OpClass.JUMP:
+            row = (_C_JUMP, code, -1, 0, 0, inst.target, None)
+        elif cls is OpClass.NOP:
+            row = (_C_NOP, code, -1, 0, 0, 0, None)
+        elif cls is OpClass.HALT:
+            row = (_C_HALT, code, -1, 0, 0, 0, None)
+        else:  # pragma: no cover - all classes handled above
+            raise ExecutionError(f"unhandled op class {cls} at pc={inst.pc}")
+        rows.append(row)
+    table = tuple(rows)
+    program._decode_table = table
+    return table
+
+
 def interpret(
     program: Program,
     max_instructions: int = 1_000_000,
@@ -59,120 +141,105 @@ def interpret(
     for reg, value in program.initial_regs.items():
         state.regs[reg] = value
 
-    insts = program.instructions
-    n_static = len(insts)
-    trace: List[DynInst] = []
+    decoded = _decode(program)
+    n_static = len(decoded)
     regs = state.regs
     last_writer = state.last_writer
     memory = state.memory
-    hooks = pc_hooks or {}
+    memory_get = memory.get
+    hooks = pc_hooks or None
+
+    cap = min(max_instructions, _INITIAL_CAPACITY)
+    pc_col = int64_buffer(cap)
+    op_col = int8_buffer(cap)
+    src1_col = int64_buffer(cap, fill=-1)
+    src2_col = int64_buffer(cap, fill=-1)
+    addr_col = int64_buffer(cap, fill=-1)
+    taken_col = int8_buffer(cap)
+    next_col = int64_buffer(cap)
 
     pc = program.entry
+    seq = 0
     halted = False
-    while len(trace) < max_instructions:
+    while seq < max_instructions:
         if not 0 <= pc < n_static:
             raise ExecutionError(f"control transferred outside program: pc={pc}")
-        static = insts[pc]
-        op = static.op
-        seq = len(trace)
+        if seq == cap:
+            new_cap = min(max_instructions, cap * 2)
+            delta = new_cap - cap
+            grow_int64(pc_col, delta)
+            grow_int8(op_col, delta)
+            grow_int64(src1_col, delta, fill=-1)
+            grow_int64(src2_col, delta, fill=-1)
+            grow_int64(addr_col, delta, fill=-1)
+            grow_int8(taken_col, delta)
+            grow_int64(next_col, delta)
+            cap = new_cap
+        cat, code, rd, rs1, rs2, ext, fn = decoded[pc]
         next_pc = pc + 1
-        cls = op.op_class
+        pc_col[seq] = pc
+        op_col[seq] = code
 
-        if cls is OpClass.ALU or cls is OpClass.MUL:
-            if op is Op.LI:
-                a = 0
-                b = static.imm
-                s1 = NO_PRODUCER
-                s2 = NO_PRODUCER
-            elif op is Op.MOV:
-                a = regs[static.rs1]
-                b = 0
-                s1 = last_writer[static.rs1]
-                s2 = NO_PRODUCER
-            elif op in IMMEDIATE_OPS:
-                a = regs[static.rs1]
-                b = static.imm
-                s1 = last_writer[static.rs1]
-                s2 = NO_PRODUCER
-            else:
-                a = regs[static.rs1]
-                b = regs[static.rs2]
-                s1 = last_writer[static.rs1]
-                s2 = last_writer[static.rs2]
-            value = static.evaluate_alu(a, b)
-            if static.rd != ZERO:
-                regs[static.rd] = value
-                last_writer[static.rd] = seq
-            trace.append(DynInst(seq, pc, op, s1, s2, next_pc=next_pc))
-
-        elif cls is OpClass.LOAD:
-            base = regs[static.rs1]
-            addr = (base + (static.imm or 0)) & ~7
+        if cat == _C_ALU_IMM:
+            value = fn(regs[rs1], ext)
+            src1_col[seq] = last_writer[rs1]
+            if rd >= 0:
+                regs[rd] = value
+                last_writer[rd] = seq
+        elif cat == _C_ALU_RR:
+            value = fn(regs[rs1], regs[rs2])
+            src1_col[seq] = last_writer[rs1]
+            src2_col[seq] = last_writer[rs2]
+            if rd >= 0:
+                regs[rd] = value
+                last_writer[rd] = seq
+        elif cat == _C_LOAD:
+            addr = (regs[rs1] + ext) & ~7
             if addr < 0:
                 raise ExecutionError(f"negative load address at pc={pc}")
-            value = memory.get(addr, 0)
-            s1 = last_writer[static.rs1]
-            if static.rd != ZERO:
-                regs[static.rd] = value
-                last_writer[static.rd] = seq
-            trace.append(DynInst(seq, pc, op, s1, NO_PRODUCER, addr=addr,
-                                 next_pc=next_pc))
-
-        elif cls is OpClass.STORE:
-            base = regs[static.rs1]
-            addr = (base + (static.imm or 0)) & ~7
+            addr_col[seq] = addr
+            src1_col[seq] = last_writer[rs1]
+            if rd >= 0:
+                regs[rd] = memory_get(addr, 0)
+                last_writer[rd] = seq
+        elif cat == _C_BRANCH:
+            src1_col[seq] = last_writer[rs1]
+            src2_col[seq] = last_writer[rs2]
+            if fn(regs[rs1], regs[rs2]):
+                taken_col[seq] = 1
+                next_pc = ext
+        elif cat == _C_STORE:
+            addr = (regs[rs1] + ext) & ~7
             if addr < 0:
                 raise ExecutionError(f"negative store address at pc={pc}")
-            memory[addr] = regs[static.rs2]
-            trace.append(
-                DynInst(
-                    seq,
-                    pc,
-                    op,
-                    last_writer[static.rs1],
-                    last_writer[static.rs2],
-                    addr=addr,
-                    next_pc=next_pc,
-                )
-            )
-
-        elif cls is OpClass.BRANCH:
-            a = regs[static.rs1]
-            b = regs[static.rs2]
-            taken = static.evaluate_branch(a, b)
-            if taken:
-                next_pc = static.target
-            trace.append(
-                DynInst(
-                    seq,
-                    pc,
-                    op,
-                    last_writer[static.rs1],
-                    last_writer[static.rs2],
-                    taken=taken,
-                    next_pc=next_pc,
-                )
-            )
-
-        elif cls is OpClass.JUMP:
-            next_pc = static.target
-            trace.append(DynInst(seq, pc, op, taken=True, next_pc=next_pc))
-
-        elif cls is OpClass.NOP:
-            trace.append(DynInst(seq, pc, op, next_pc=next_pc))
-
-        elif cls is OpClass.HALT:
-            trace.append(DynInst(seq, pc, op, next_pc=next_pc))
+            addr_col[seq] = addr
+            src1_col[seq] = last_writer[rs1]
+            src2_col[seq] = last_writer[rs2]
+            memory[addr] = regs[rs2]
+        elif cat == _C_LI:
+            if rd >= 0:
+                regs[rd] = ext
+                last_writer[rd] = seq
+        elif cat == _C_MOV:
+            src1_col[seq] = last_writer[rs1]
+            if rd >= 0:
+                regs[rd] = regs[rs1]
+                last_writer[rd] = seq
+        elif cat == _C_JUMP:
+            taken_col[seq] = 1
+            next_pc = ext
+        elif cat == _C_NOP:
+            pass
+        else:  # _C_HALT
             halted = True
 
-        else:  # pragma: no cover - all classes handled above
-            raise ExecutionError(f"unhandled op class {cls} at pc={pc}")
-
-        hook = hooks.get(pc)
-        if hook is not None:
-            state.seq = seq
-            hook(seq, state)
-
+        next_col[seq] = next_pc
+        seq += 1
+        if hooks is not None:
+            hook = hooks.get(pc)
+            if hook is not None:
+                state.seq = seq - 1
+                hook(seq - 1, state)
         if halted:
             break
         pc = next_pc
@@ -182,4 +249,10 @@ def interpret(
             f"program {program.name!r} did not halt within "
             f"{max_instructions} instructions"
         )
-    return Trace(program, trace)
+    return Trace(
+        program,
+        TraceColumns.seal(
+            pc_col, op_col, src1_col, src2_col, addr_col, taken_col,
+            next_col, seq,
+        ),
+    )

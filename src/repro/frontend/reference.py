@@ -1,0 +1,164 @@
+"""Object-path reference interpreter (golden bit-identity oracle).
+
+This is the original per-object ``interpret()`` retained verbatim: it
+builds one :class:`~repro.frontend.trace.DynInst` per dynamic instruction
+and hands the list to :class:`~repro.frontend.trace.Trace`.  The golden
+tests run it against the columnar emitter in
+:mod:`repro.frontend.interpreter` and require identical ``SimStats``,
+figure rows, and selected p-threads.  It is not used on any production
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ExecutionError
+from repro.frontend.interpreter import InterpreterState, PcHook
+from repro.frontend.trace import NO_PRODUCER, DynInst, Trace
+from repro.isa.instruction import Program
+from repro.isa.opcodes import IMMEDIATE_OPS, Op, OpClass
+from repro.isa.registers import ZERO
+
+
+def interpret_reference(
+    program: Program,
+    max_instructions: int = 1_000_000,
+    pc_hooks: Optional[Dict[int, PcHook]] = None,
+    require_halt: bool = True,
+) -> Trace:
+    """Execute ``program`` functionally and return its dynamic trace.
+
+    Raises :class:`~repro.errors.ExecutionError` if the program runs past
+    ``max_instructions`` without halting (unless ``require_halt`` is False,
+    in which case the trace is truncated at the limit).
+    """
+    state = InterpreterState()
+    state.memory = dict(program.data)
+    for reg, value in program.initial_regs.items():
+        state.regs[reg] = value
+
+    insts = program.instructions
+    n_static = len(insts)
+    trace: List[DynInst] = []
+    regs = state.regs
+    last_writer = state.last_writer
+    memory = state.memory
+    hooks = pc_hooks or {}
+
+    pc = program.entry
+    halted = False
+    while len(trace) < max_instructions:
+        if not 0 <= pc < n_static:
+            raise ExecutionError(f"control transferred outside program: pc={pc}")
+        static = insts[pc]
+        op = static.op
+        seq = len(trace)
+        next_pc = pc + 1
+        cls = op.op_class
+
+        if cls is OpClass.ALU or cls is OpClass.MUL:
+            if op is Op.LI:
+                a = 0
+                b = static.imm
+                s1 = NO_PRODUCER
+                s2 = NO_PRODUCER
+            elif op is Op.MOV:
+                a = regs[static.rs1]
+                b = 0
+                s1 = last_writer[static.rs1]
+                s2 = NO_PRODUCER
+            elif op in IMMEDIATE_OPS:
+                a = regs[static.rs1]
+                b = static.imm
+                s1 = last_writer[static.rs1]
+                s2 = NO_PRODUCER
+            else:
+                a = regs[static.rs1]
+                b = regs[static.rs2]
+                s1 = last_writer[static.rs1]
+                s2 = last_writer[static.rs2]
+            value = static.evaluate_alu(a, b)
+            if static.rd != ZERO:
+                regs[static.rd] = value
+                last_writer[static.rd] = seq
+            trace.append(DynInst(seq, pc, op, s1, s2, next_pc=next_pc))
+
+        elif cls is OpClass.LOAD:
+            base = regs[static.rs1]
+            addr = (base + (static.imm or 0)) & ~7
+            if addr < 0:
+                raise ExecutionError(f"negative load address at pc={pc}")
+            value = memory.get(addr, 0)
+            s1 = last_writer[static.rs1]
+            if static.rd != ZERO:
+                regs[static.rd] = value
+                last_writer[static.rd] = seq
+            trace.append(DynInst(seq, pc, op, s1, NO_PRODUCER, addr=addr,
+                                 next_pc=next_pc))
+
+        elif cls is OpClass.STORE:
+            base = regs[static.rs1]
+            addr = (base + (static.imm or 0)) & ~7
+            if addr < 0:
+                raise ExecutionError(f"negative store address at pc={pc}")
+            memory[addr] = regs[static.rs2]
+            trace.append(
+                DynInst(
+                    seq,
+                    pc,
+                    op,
+                    last_writer[static.rs1],
+                    last_writer[static.rs2],
+                    addr=addr,
+                    next_pc=next_pc,
+                )
+            )
+
+        elif cls is OpClass.BRANCH:
+            a = regs[static.rs1]
+            b = regs[static.rs2]
+            taken = static.evaluate_branch(a, b)
+            if taken:
+                next_pc = static.target
+            trace.append(
+                DynInst(
+                    seq,
+                    pc,
+                    op,
+                    last_writer[static.rs1],
+                    last_writer[static.rs2],
+                    taken=taken,
+                    next_pc=next_pc,
+                )
+            )
+
+        elif cls is OpClass.JUMP:
+            next_pc = static.target
+            trace.append(DynInst(seq, pc, op, taken=True, next_pc=next_pc))
+
+        elif cls is OpClass.NOP:
+            trace.append(DynInst(seq, pc, op, next_pc=next_pc))
+
+        elif cls is OpClass.HALT:
+            trace.append(DynInst(seq, pc, op, next_pc=next_pc))
+            halted = True
+
+        else:  # pragma: no cover - all classes handled above
+            raise ExecutionError(f"unhandled op class {cls} at pc={pc}")
+
+        hook = hooks.get(pc)
+        if hook is not None:
+            state.seq = seq
+            hook(seq, state)
+
+        if halted:
+            break
+        pc = next_pc
+
+    if not halted and require_halt:
+        raise ExecutionError(
+            f"program {program.name!r} did not halt within "
+            f"{max_instructions} instructions"
+        )
+    return Trace(program, trace)

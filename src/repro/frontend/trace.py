@@ -1,19 +1,39 @@
-"""Dynamic trace containers."""
+"""Dynamic trace containers.
+
+The trace is stored columnar (:class:`~repro.frontend.columns.TraceColumns`)
+rather than as one Python object per dynamic instruction.  :class:`DynInst`
+survives as a lazy row view built on demand for the shrinking set of call
+sites that still want objects; the analysis and simulation layers consume
+the memoized flat-list view (:meth:`Trace.as_lists`) or the sealed columns
+directly.
+
+Derived artifacts -- the pc->seqs occurrence index, per-class counts, and
+branch statistics -- are built in one pass on first use and cached, so a
+figure grid's cells share them instead of re-scanning the trace per call.
+"""
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from typing import Dict, Iterator, List
+from collections import Counter
+from typing import Dict, Iterator, List, NamedTuple, Optional, Union
 
+from repro.frontend.columns import TraceColumns, use_numpy
 from repro.isa.instruction import Program
-from repro.isa.opcodes import Op, OpClass
+from repro.isa.opcodes import (
+    BRANCH_CODES,
+    CLASS_BY_CODE,
+    LD_CODE,
+    Op,
+    OpClass,
+    OPS_BY_CODE,
+)
 
 #: Sentinel producer sequence number meaning "ready at program start".
 NO_PRODUCER = -1
 
 
 class DynInst:
-    """One dynamic instruction.
+    """One dynamic instruction (a materialized row of the columnar trace).
 
     ``src1_seq``/``src2_seq`` are the trace sequence numbers of the dynamic
     instructions that produced this instruction's register sources
@@ -76,61 +96,234 @@ class DynInst:
         )
 
 
+class TraceLists(NamedTuple):
+    """The trace's columns as plain Python lists (one shared conversion).
+
+    CPython elementwise loops index plain lists faster than any other
+    container, so every sequential consumer (pipeline, classifier, slicer)
+    reads these; they are materialized once per trace and shared.
+    ``op_code`` holds dense :data:`~repro.isa.opcodes.CODE_BY_OP` codes
+    and ``taken`` holds 0/1 ints.
+    """
+
+    pc: List[int]
+    op_code: List[int]
+    src1: List[int]
+    src2: List[int]
+    addr: List[int]
+    taken: List[int]
+    next_pc: List[int]
+
+
 class Trace:
     """A complete dynamic execution trace of the main thread."""
 
-    def __init__(self, program: Program, insts: List[DynInst]) -> None:
+    def __init__(
+        self,
+        program: Program,
+        insts: Union[TraceColumns, List[DynInst]],
+    ) -> None:
         self.program = program
-        self.insts = insts
+        if isinstance(insts, TraceColumns):
+            self.columns = insts
+            self._insts: Optional[List[DynInst]] = None
+        else:
+            # Legacy row-object path (tests, sampled windows).
+            self.columns = TraceColumns.from_rows(insts)
+            self._insts = list(insts)
+        self._n = len(self.columns)
+        self._lists: Optional[TraceLists] = None
+        self._pc_index: Optional[Dict[int, List[int]]] = None
+        self._class_counts: Optional[Dict[OpClass, int]] = None
+        self._branch_stats: Optional[Dict[int, Dict[str, int]]] = None
+        self._pc_counts: Optional[Counter] = None
+        #: Consumer-memoized derivations (e.g. the pipeline's kind/ctrl
+        #: view), keyed by consumer name.  Shared like the columns.
+        self.derived: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Views.
+    # ------------------------------------------------------------------ #
+
+    def as_lists(self) -> TraceLists:
+        """The columns as plain lists, converted once and memoized."""
+        lists = self._lists
+        if lists is None:
+            c = self.columns
+            lists = TraceLists(
+                c.pc.tolist(),
+                c.op_code.tolist(),
+                c.src1.tolist(),
+                c.src2.tolist(),
+                c.addr.tolist(),
+                c.taken.tolist(),
+                c.next_pc.tolist(),
+            )
+            self._lists = lists
+        return lists
+
+    @property
+    def insts(self) -> List[DynInst]:
+        """All rows as :class:`DynInst` objects (lazy, memoized)."""
+        cached = self._insts
+        if cached is None:
+            cached = list(iter(self))
+            self._insts = cached
+        return cached
 
     def __len__(self) -> int:
-        return len(self.insts)
+        return self._n
 
     def __getitem__(self, seq: int) -> DynInst:
-        return self.insts[seq]
+        if self._insts is not None:
+            return self._insts[seq]
+        if seq < 0:
+            seq += self._n
+        if not 0 <= seq < self._n:
+            raise IndexError(f"trace index {seq} out of range")
+        L = self.as_lists()
+        return DynInst(
+            seq,
+            L.pc[seq],
+            OPS_BY_CODE[L.op_code[seq]],
+            L.src1[seq],
+            L.src2[seq],
+            L.addr[seq],
+            L.taken[seq] != 0,
+            L.next_pc[seq],
+        )
 
     def __iter__(self) -> Iterator[DynInst]:
-        return iter(self.insts)
+        if self._insts is not None:
+            return iter(self._insts)
+        return self._iter_rows()
+
+    def _iter_rows(self) -> Iterator[DynInst]:
+        L = self.as_lists()
+        ops = OPS_BY_CODE
+        make = DynInst
+        for seq, (pc, code, s1, s2, addr, taken, npc) in enumerate(
+            zip(L.pc, L.op_code, L.src1, L.src2, L.addr, L.taken, L.next_pc)
+        ):
+            yield make(seq, pc, ops[code], s1, s2, addr, taken != 0, npc)
 
     def static_of(self, dyn: DynInst):
         """The static instruction a dynamic instruction came from."""
         return self.program[dyn.pc]
 
+    # ------------------------------------------------------------------ #
+    # Derived statistics: one single-pass (or vectorized) construction,
+    # shared by every consumer.
+    # ------------------------------------------------------------------ #
+
+    def _materialize_stats(self) -> None:
+        if self._pc_index is not None:
+            return
+        c = self.columns
+        n_codes = len(OPS_BY_CODE)
+        if use_numpy() and c.backend == "numpy":
+            import numpy as np
+
+            pc_arr = c.pc
+            order = np.argsort(pc_arr, kind="stable")
+            code_counts = np.bincount(
+                c.op_code, minlength=n_codes
+            ).tolist()
+            if len(order):
+                sorted_pcs = pc_arr[order]
+                boundaries = np.flatnonzero(np.diff(sorted_pcs)) + 1
+                groups = np.split(order, boundaries)
+                # First-occurrence order, matching the sequential build.
+                items = [(int(g[0]), int(sorted_pcs[starts]), g)
+                         for g, starts in zip(
+                             groups,
+                             np.concatenate(([0], boundaries)))]
+                items.sort()
+                pc_index = {pc: g.tolist() for _, pc, g in items}
+            else:
+                pc_index = {}
+        else:
+            L = self.as_lists()
+            pc_index = {}
+            index_get = pc_index.get
+            code_counts = [0] * n_codes
+            for seq, (pc, code) in enumerate(zip(L.pc, L.op_code)):
+                bucket = index_get(pc)
+                if bucket is None:
+                    pc_index[pc] = [seq]
+                else:
+                    bucket.append(seq)
+                code_counts[code] += 1
+        # Per-class totals and per-branch-pc taken counts fall out of the
+        # code histogram and the occurrence index without another sweep.
+        class_counts: Dict[OpClass, int] = {}
+        for code, count in enumerate(code_counts):
+            if count:
+                cls = CLASS_BY_CODE[code]
+                class_counts[cls] = class_counts.get(cls, 0) + count
+        taken_l = self.as_lists().taken
+        code_l = self.as_lists().op_code
+        branch_stats: Dict[int, Dict[str, int]] = {}
+        for pc, seqs in pc_index.items():
+            if code_l[seqs[0]] in BRANCH_CODES:
+                branch_stats[pc] = {
+                    "total": len(seqs),
+                    "taken": sum(taken_l[s] for s in seqs),
+                }
+        self._class_counts = class_counts
+        self._branch_stats = branch_stats
+        self._pc_index = pc_index
+
+    def pc_index(self) -> Dict[int, List[int]]:
+        """pc -> ascending seqs of its dynamic instances (do not mutate)."""
+        self._materialize_stats()
+        return self._pc_index
+
     def count_by_class(self) -> Dict[OpClass, int]:
         """Dynamic instruction counts per op class."""
-        counts: Counter = Counter()
-        for inst in self.insts:
-            counts[inst.op.op_class] += 1
-        return dict(counts)
+        self._materialize_stats()
+        return dict(self._class_counts)
 
     def dynamic_loads_by_pc(self) -> Dict[int, List[int]]:
         """Map static load PC -> sequence numbers of its dynamic instances."""
-        by_pc: Dict[int, List[int]] = defaultdict(list)
-        for inst in self.insts:
-            if inst.op is Op.LD:
-                by_pc[inst.pc].append(inst.seq)
-        return dict(by_pc)
+        self._materialize_stats()
+        code_l = self.as_lists().op_code
+        return {
+            pc: list(seqs)
+            for pc, seqs in self._pc_index.items()
+            if code_l[seqs[0]] == LD_CODE
+        }
 
     def occurrences(self, pc: int) -> List[int]:
-        """Sequence numbers of all dynamic instances of static PC ``pc``."""
-        return [inst.seq for inst in self.insts if inst.pc == pc]
+        """Sequence numbers of all dynamic instances of static PC ``pc``.
+
+        Served from the precomputed occurrence index; callers must treat
+        the result as read-only.
+        """
+        self._materialize_stats()
+        return self._pc_index.get(pc, [])
+
+    def pc_occurrence_counts(self) -> Counter:
+        """Dynamic execution count per static PC (DCtrig), memoized."""
+        counts = self._pc_counts
+        if counts is None:
+            self._materialize_stats()
+            counts = Counter(
+                {pc: len(seqs) for pc, seqs in self._pc_index.items()}
+            )
+            self._pc_counts = counts
+        return counts
 
     def branch_stats(self) -> Dict[int, Dict[str, int]]:
         """Per-static-branch dynamic counts: total and taken."""
-        stats: Dict[int, Dict[str, int]] = {}
-        for inst in self.insts:
-            if inst.is_branch:
-                entry = stats.setdefault(inst.pc, {"total": 0, "taken": 0})
-                entry["total"] += 1
-                if inst.taken:
-                    entry["taken"] += 1
-        return stats
+        self._materialize_stats()
+        return {pc: dict(entry) for pc, entry in self._branch_stats.items()}
 
     def summary(self) -> Dict[str, int]:
         """Headline dynamic counts."""
         by_class = self.count_by_class()
         return {
-            "instructions": len(self.insts),
+            "instructions": self._n,
             "loads": by_class.get(OpClass.LOAD, 0),
             "stores": by_class.get(OpClass.STORE, 0),
             "branches": by_class.get(OpClass.BRANCH, 0),

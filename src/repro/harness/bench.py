@@ -29,8 +29,9 @@ from typing import Dict, List, Optional, Sequence
 from repro import __version__, obs
 from repro.config import MachineConfig, SimulationConfig
 from repro.cpu.pipeline import simulate
+from repro.frontend import columns, tracestore
 from repro.frontend.interpreter import interpret
-from repro.harness import figures, simcache
+from repro.harness import experiment, figures, simcache
 from repro.pthsel.targets import Target
 from repro.workloads import benchmark_names
 from repro.workloads.registry import get_program
@@ -50,10 +51,12 @@ def bench_simulator(
     machine = MachineConfig()
     rows: List[Dict[str, object]] = []
     for benchmark in benchmarks:
+        t0 = time.perf_counter()
         trace = interpret(
             get_program(benchmark, input_name),
             max_instructions=sim.max_instructions,
         )
+        t_trace = time.perf_counter() - t0
         with obs.span("bench_simulate", benchmark=benchmark):
             t0 = time.perf_counter()
             stats = simulate(trace, machine)
@@ -64,6 +67,7 @@ def bench_simulator(
                 "cycles": stats.cycles,
                 "committed": stats.committed,
                 "wall_s": round(wall, 4),
+                "t_trace": round(t_trace, 4),
                 "cycles_per_sec": round(stats.cycles / wall) if wall else 0,
             }
         )
@@ -94,6 +98,11 @@ def bench_grid(
     }
 
     if compare_sequential:
+        # An honest cold pass: nothing carried over from earlier phases
+        # of this process (in-process baseline LRU, trace memo), only the
+        # sharing the sequential grid itself builds up.
+        experiment.clear_baseline_cache()
+        tracestore.clear()
         with simcache.disabled():
             t0 = time.perf_counter()
             rows = figures.figure5_memory_latency(jobs=1, **kwargs)
@@ -101,6 +110,22 @@ def bench_grid(
                 time.perf_counter() - t0, 3
             )
         out["rows"] = len(rows)
+        # Per-row cold phase breakdown (trace/analysis/sim walls) plus
+        # totals, so the bench JSON shows where the cold path spends.
+        phase_keys = ("t_trace", "t_analysis", "t_sim")
+        out["cold_phase_rows"] = [
+            {
+                k: row[k]
+                for k in ("benchmark", "target", *phase_keys)
+                if k in row
+            }
+            for row in rows
+        ]
+        out["cold_phase_totals_s"] = {
+            k[2:]: round(sum(float(r.get(k, 0.0)) for r in rows), 3)
+            for k in phase_keys
+        }
+        out["tracestore"] = tracestore.stats()
 
     t0 = time.perf_counter()
     rows = figures.figure5_memory_latency(jobs=jobs, **kwargs)
@@ -135,6 +160,7 @@ def run_bench(
             "cpu_count": os.cpu_count(),
         },
         "quick": quick,
+        "trace_backend": columns.backend(),
         "simulator": bench_simulator(
             QUICK_BENCHMARKS if quick else None
         ),

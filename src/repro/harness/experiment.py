@@ -22,10 +22,11 @@ from repro.config import (
 )
 from repro.cpu.pipeline import simulate
 from repro.cpu.stats import SimStats
-from repro.ddmt.augment import expand_pthreads
+from repro.critpath.classify import analysis_memo_enabled
+from repro.ddmt.augment import AugmentedProgram, expand_pthreads
 from repro.energy.metrics import relative_metrics
 from repro.energy.wattch import EnergyModel, EnergyResult
-from repro.frontend.interpreter import interpret
+from repro.frontend import tracestore
 from repro.frontend.trace import Trace
 from repro.harness import simcache
 from repro.pthsel.framework import (
@@ -156,7 +157,13 @@ def _baseline_sim(
     input_name: str,
     machine: MachineConfig,
     sim: SimulationConfig,
-) -> Tuple[Trace, SimStats]:
+) -> Tuple[Trace, SimStats, Dict[str, float]]:
+    """Trace + baseline stats + cold phase walls ({"trace": s, "sim": s}).
+
+    The phase walls are 0.0 for work served from a cache (the LRU, the
+    trace memo, or the persistent stats cache): they measure what *this
+    call* built, which is what the bench cold-path breakdown wants.
+    """
     program = get_program(benchmark, input_name)
     program_fp = program.fingerprint()
     key = (program_fp, machine, sim.max_instructions)
@@ -164,7 +171,8 @@ def _baseline_sim(
     if hit is not None:
         _BASELINE_CACHE.move_to_end(key)
         _CACHE_HITS.add()
-        return hit
+        trace, stats = hit
+        return trace, stats, {"trace": 0.0, "sim": 0.0}
     _CACHE_MISSES.add()
     disk = simcache.get_cache()
     material = _baseline_material(
@@ -172,14 +180,19 @@ def _baseline_sim(
     )
     with obs.span("baseline_sim", benchmark=benchmark,
                   input=input_name) as sp:
-        trace = interpret(program, max_instructions=sim.max_instructions)
+        # The trace is machine-independent: the per-process memo shares it
+        # across every (machine, target) cell of a sweep.
+        trace, t_trace = tracestore.get_trace(program, sim.max_instructions)
+        t_sim = 0.0
         stats: Optional[SimStats] = None
         if disk is not None:
             cached = disk.get(material)
             if isinstance(cached, SimStats):
                 stats = cached
         if stats is None:
-            stats = simulate(trace, machine)
+            with obs.span("timing_sim") as sim_sp:
+                stats = simulate(trace, machine)
+            t_sim = sim_sp.wall_s
             if disk is not None:
                 disk.put(material, stats)
         sp.annotate(cycles=stats.cycles, committed=stats.committed)
@@ -187,7 +200,7 @@ def _baseline_sim(
         _BASELINE_CACHE.popitem(last=False)
         _CACHE_EVICTIONS.add()
     _BASELINE_CACHE[key] = (trace, stats)
-    return trace, stats
+    return trace, stats, {"trace": t_trace, "sim": t_sim}
 
 
 def warm_baseline(
@@ -199,7 +212,7 @@ def warm_baseline(
     """Ensure one baseline simulation is cached (LRU + disk); returns its
     stats.  The parallel engine fans these out before dispatching full
     experiments so identical baselines are simulated exactly once."""
-    _, stats = _baseline_sim(
+    _, stats, _ = _baseline_sim(
         benchmark,
         input_name,
         (machine or MachineConfig()).validate(),
@@ -226,8 +239,48 @@ def baseline_cache_stats() -> Dict[str, int]:
 
 
 def clear_baseline_cache() -> None:
-    """Drop memoized baseline simulations (tests use this)."""
+    """Drop memoized baseline simulations, augmented expansions, and
+    optimized-run stats (tests and the cold-path bench use this)."""
     _BASELINE_CACHE.clear()
+    _AUG_CACHE.clear()
+    _OPT_CACHE.clear()
+
+
+# --------------------------------------------------------------------- #
+# Optimized-run sharing: a sweep frequently selects the *same* p-thread
+# set in several cells (e.g. two targets agreeing at one latency, or one
+# target agreeing across latencies).  The augmented expansion depends
+# only on (program, p-threads, budget) -- not the machine -- and the
+# optimized timing run additionally on the machine, so both are shared
+# at exactly that granularity.  Keyed by p-thread *content*, never by
+# how the set was selected.
+# --------------------------------------------------------------------- #
+
+_AUG_CACHE: "OrderedDict[Tuple, AugmentedProgram]" = OrderedDict()
+_AUG_CACHE_LIMIT = 8
+_OPT_CACHE: "OrderedDict[Tuple, SimStats]" = OrderedDict()
+_OPT_CACHE_LIMIT = 64
+
+_AUG_HITS = obs.counters.counter("harness.experiment.aug_cache.hits")
+_OPT_HITS = obs.counters.counter("harness.experiment.opt_cache.hits")
+
+
+def _pthread_signature(pthreads) -> Tuple:
+    """Content signature of a selected p-thread set: everything the
+    expansion and the timing simulation can observe."""
+    return tuple(
+        (
+            p.pthread_id,
+            p.trigger_pc,
+            p.hint_offset,
+            p.target_pcs,
+            tuple(
+                (i.pc, i.op.value, i.rd, i.rs1, i.rs2, i.imm, i.target)
+                for i in p.body
+            ),
+        )
+        for p in pthreads
+    )
 
 
 def run_baseline(
@@ -241,7 +294,7 @@ def run_baseline(
     machine = (machine or MachineConfig()).validate()
     energy = (energy or EnergyConfig()).validate()
     sim = (sim or SimulationConfig()).validate()
-    _, stats = _baseline_sim(benchmark, input_name, machine, sim)
+    _, stats, _ = _baseline_sim(benchmark, input_name, machine, sim)
     model = EnergyModel(energy, machine)
     return RunMeasurement(stats=stats, energy=model.evaluate(stats.activity))
 
@@ -317,22 +370,26 @@ def run_experiment(
                   target=target.label) as sp_total:
         # Baseline measurement on the run input.
         with obs.span("baseline") as sp:
-            run_trace, run_stats = _baseline_sim(
+            run_trace, run_stats, base_phases = _baseline_sim(
                 benchmark, run_input, machine, sim
             )
             baseline = RunMeasurement(
                 stats=run_stats, energy=model.evaluate(run_stats.activity)
             )
         phase_seconds["baseline"] = sp.wall_s
+        t_trace = base_phases["trace"]
+        t_sim = base_phases["sim"]
 
         # Profile (possibly a different input) supplies the selection inputs.
         with obs.span("profile", input=profile_input) as sp:
             if profile_input == run_input:
                 profile_trace, profile_stats = run_trace, run_stats
             else:
-                profile_trace, profile_stats = _baseline_sim(
+                profile_trace, profile_stats, profile_phases = _baseline_sim(
                     benchmark, profile_input, machine, sim
                 )
+                t_trace += profile_phases["trace"]
+                t_sim += profile_phases["sim"]
             profile_energy = model.evaluate(profile_stats.activity)
             estimates = BaselineEstimates(
                 ipc=profile_stats.ipc,
@@ -370,27 +427,71 @@ def run_experiment(
             sp.annotate(n_pthreads=result.n_pthreads)
         phase_seconds["select"] = sp.wall_s
 
-        # Augment the run program and measure.
+        # Augment the run program and measure.  Both layers are shared
+        # across sweep cells that selected an identical p-thread set:
+        # the expansion machine-independently, the timing run per
+        # machine.
         with obs.span("augment") as sp:
             program = get_program(benchmark, run_input)
-            augmented = expand_pthreads(
-                program,
-                result.pthreads,
-                max_instructions=sim.max_instructions,
-                reference_trace=(
-                    run_trace if run_input == profile_input else None
-                ),
+            pth_sig = (
+                _pthread_signature(result.pthreads)
+                if analysis_memo_enabled()
+                else None
             )
-        phase_seconds["augment"] = sp.wall_s
+            aug_key = opt_key = None
+            opt_stats: Optional[SimStats] = None
+            augmented: Optional[AugmentedProgram] = None
+            if pth_sig is not None:
+                base = (program.fingerprint(), sim.max_instructions, pth_sig)
+                aug_key = ("augment",) + base
+                opt_key = ("optimized", machine.fingerprint) + base
+                opt_stats = _OPT_CACHE.get(opt_key)
+            if opt_stats is not None:
+                _OPT_CACHE.move_to_end(opt_key)
+                _OPT_HITS.add()
+            else:
+                if aug_key is not None:
+                    augmented = _AUG_CACHE.get(aug_key)
+                if augmented is not None:
+                    _AUG_CACHE.move_to_end(aug_key)
+                    _AUG_HITS.add()
+                else:
+                    augmented = expand_pthreads(
+                        program,
+                        result.pthreads,
+                        max_instructions=sim.max_instructions,
+                        reference_trace=(
+                            run_trace if run_input == profile_input else None
+                        ),
+                    )
+                    if aug_key is not None:
+                        while len(_AUG_CACHE) >= _AUG_CACHE_LIMIT:
+                            _AUG_CACHE.popitem(last=False)
+                        _AUG_CACHE[aug_key] = augmented
+        phase_seconds["augment"] = 0.0 if opt_stats is not None else sp.wall_s
+        opt_cached = opt_stats is not None
 
         with obs.span("simulate") as sp:
-            opt_stats = simulate(augmented.trace, machine, augmented.pthreads)
+            if opt_stats is None:
+                opt_stats = simulate(
+                    augmented.trace, machine, augmented.pthreads
+                )
+                if opt_key is not None:
+                    while len(_OPT_CACHE) >= _OPT_CACHE_LIMIT:
+                        _OPT_CACHE.popitem(last=False)
+                    _OPT_CACHE[opt_key] = opt_stats
             optimized = RunMeasurement(
                 stats=opt_stats, energy=model.evaluate(opt_stats.activity)
             )
             sp.annotate(cycles=opt_stats.cycles,
                         committed=opt_stats.committed)
-        phase_seconds["simulate"] = sp.wall_s
+        phase_seconds["simulate"] = 0.0 if opt_cached else sp.wall_s
+        # Cold-path breakdown: what this run actually built (0.0 when a
+        # layer was served from cache).  "trace" is interpretation,
+        # "analysis" the PTHSEL selection pass, "sim" the timing runs.
+        phase_seconds["trace"] = t_trace
+        phase_seconds["analysis"] = phase_seconds["select"]
+        phase_seconds["sim"] = t_sim + phase_seconds["simulate"]
 
         metrics = relative_metrics(
             base_delay=float(baseline.cycles),

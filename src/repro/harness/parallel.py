@@ -87,6 +87,7 @@ from repro.errors import (
     WorkerCrashError,
     is_retryable,
 )
+from repro.frontend import columns
 from repro.harness import simcache
 from repro.harness.experiment import (
     ExperimentResult,
@@ -339,10 +340,15 @@ def _worker_init(
     log_level: str,
     fault_specs: Sequence[str],
     fail_start: bool,
+    column_backend: Optional[str] = None,
 ) -> None:
     simcache.configure(cache_dir=cache_dir, enabled=cache_enabled)
     if log_level != "off":
         obs.configure(level=log_level)
+    # Fork inherits the parent's trace-column backend (and memoized
+    # traces); a spawn-started worker must re-apply any programmatic
+    # override (--numpy) the environment variables don't carry.
+    columns.set_backend(column_backend)
     faults.configure(fault_specs)
     if fail_start:
         # The parent drew the worker.start fault for this pool epoch
@@ -557,6 +563,7 @@ def _new_pool(workers: int, epoch: int) -> ProcessPoolExecutor:
             obs.current_level(),
             faults.encode_plan(),
             fail_start,
+            columns.backend(),
         ),
     )
     _POOLS_STARTED.add()

@@ -153,3 +153,35 @@ BRANCH_SEMANTICS: Dict[Op, Callable[[int, int], bool]] = {
 IMMEDIATE_OPS = frozenset(
     {Op.ADDI, Op.ANDI, Op.SHLI, Op.SHRI, Op.SLTI, Op.LI}
 )
+
+# --------------------------------------------------------------------- #
+# Dense integer opcode encoding for the columnar trace representation.
+#
+# Columns store one small int per dynamic instruction instead of an enum
+# member; per-code tuples below replace the ``Op -> OpClass`` enum-hash
+# chains in every hot loop (interpreter, pipeline, classifier).  The
+# encoding is definition order, which is stable: appending opcodes keeps
+# existing codes valid.
+# --------------------------------------------------------------------- #
+
+#: code -> Op, in definition order (the inverse of :data:`CODE_BY_OP`).
+OPS_BY_CODE: tuple = tuple(Op)
+
+#: Op -> dense integer code.
+CODE_BY_OP: Dict[Op, int] = {op: i for i, op in enumerate(OPS_BY_CODE)}
+
+#: code -> OpClass.
+CLASS_BY_CODE: tuple = tuple(_OP_CLASS[op] for op in OPS_BY_CODE)
+
+#: code -> writes an architectural register.
+WRITES_BY_CODE: tuple = tuple(op.writes_register for op in OPS_BY_CODE)
+
+#: Dense codes of the conditional branch opcodes.
+BRANCH_CODES = frozenset(
+    code
+    for code, cls in enumerate(CLASS_BY_CODE)
+    if cls is OpClass.BRANCH
+)
+
+LD_CODE = CODE_BY_OP[Op.LD]
+ST_CODE = CODE_BY_OP[Op.ST]

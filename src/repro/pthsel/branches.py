@@ -18,11 +18,10 @@ Two model changes relative to load targeting, both from the paper:
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Dict, List, Optional
 
 from repro.config import EnergyConfig, MachineConfig, SelectionConfig
-from repro.critpath.classify import LoadClassification, classify_trace
+from repro.critpath.classify import LoadClassification, classify_trace_cached
 from repro.energy.wattch import EnergyModel
 from repro.frontend.trace import Trace
 from repro.pthsel.composite import CompositeParams
@@ -119,7 +118,7 @@ def select_branch_pthreads(
     energy = energy or EnergyConfig()
     selection = selection or SelectionConfig()
     if classification is None:
-        classification = classify_trace(trace, machine)
+        classification = classify_trace_cached(trace, machine)
 
     problem_pcs = identify_problem_branches(classification, selection)
     result = SelectionResult(
@@ -157,7 +156,7 @@ def select_branch_pthreads(
         l0=baseline.l0, e0=baseline.e0, w=target.composition_weight
     )
 
-    pc_occurrences = Counter(dyn.pc for dyn in trace)
+    pc_occurrences = trace.pc_occurrence_counts()
     next_id = id_base
     totals: Dict[str, float] = {"ladv_agg": 0.0, "eadv_agg": 0.0,
                                 "cadv_agg": 0.0}

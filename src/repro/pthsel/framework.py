@@ -10,13 +10,17 @@ common-trigger selections.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import obs
 from repro.config import EnergyConfig, MachineConfig, SelectionConfig
-from repro.critpath.classify import LoadClassification, classify_trace
+from repro.critpath.classify import (
+    LoadClassification,
+    analysis_memo_enabled,
+    classify_trace_cached,
+    profile_geometry_key,
+)
 from repro.critpath.loadcost import FlatLoadCost, build_cost_functions
 from repro.energy.wattch import EnergyModel
 from repro.frontend.trace import Trace
@@ -90,8 +94,12 @@ def select_pthreads(
     machine = machine or MachineConfig()
     energy = energy or EnergyConfig()
     selection = selection or SelectionConfig()
+    # Sweep-cell sharing is only sound when the classification is the
+    # canonical one for (trace, machine); a caller-supplied profile may
+    # have been built differently, so it opts the call out of the memos.
+    memo = analysis_memo_enabled() and classification is None
     if classification is None:
-        classification = classify_trace(trace, machine)
+        classification = classify_trace_cached(trace, machine)
 
     problem_pcs = identify_problem_loads(classification, selection)
     obs.counters.counter("pthsel.framework.problem_loads").add(
@@ -111,9 +119,17 @@ def select_pthreads(
     if target.uses_flat_load_cost:
         cost_functions = {pc: FlatLoadCost() for pc in problem_pcs}
     else:
-        cost_functions = build_cost_functions(
-            trace, classification, problem_pcs, machine
-        )
+        # Cost functions depend on the full machine (latencies drive the
+        # dependence-graph passes) but not on the target: the targets of
+        # one sweep cell share them.  Values are frozen dataclasses.
+        cost_key = ("loadcost", machine.fingerprint, tuple(problem_pcs))
+        cost_functions = trace.derived.get(cost_key) if memo else None
+        if cost_functions is None:
+            cost_functions = build_cost_functions(
+                trace, classification, problem_pcs, machine
+            )
+            if memo:
+                trace.derived[cost_key] = cost_functions
 
     latency_model = LatencyModel(
         LatencyParams.from_machine(machine, baseline.ipc),
@@ -131,7 +147,7 @@ def select_pthreads(
         l0=baseline.l0, e0=baseline.e0, w=target.composition_weight
     )
 
-    pc_occurrences = Counter(dyn.pc for dyn in trace)
+    pc_occurrences = trace.pc_occurrence_counts()
     selected_all: List[StaticPThread] = []
     next_id = 0
     totals: Dict[str, float] = {
@@ -139,15 +155,29 @@ def select_pthreads(
         "eadv_agg": 0.0,
         "cadv_agg": 0.0,
     }
+    # Slice trees depend on the trace and the classification geometry
+    # only -- neither latencies nor the target -- so all cells of a
+    # latency sweep share one tree per problem load.  TreeSelector
+    # treats trees as read-only.
+    tree_key = (
+        "slicetrees",
+        profile_geometry_key(machine),
+        selection.slicing_window,
+        selection.max_pthread_insts,
+    )
+    trees: Dict[int, object] = trace.derived.setdefault(tree_key, {}) if memo else {}
     for pc in problem_pcs:
-        tree = build_slice_tree(
-            trace,
-            classification,
-            pc,
-            window=selection.slicing_window,
-            max_insts=selection.max_pthread_insts,
-            pc_occurrences=pc_occurrences,
-        )
+        tree = trees.get(pc)
+        if tree is None:
+            tree = build_slice_tree(
+                trace,
+                classification,
+                pc,
+                window=selection.slicing_window,
+                max_insts=selection.max_pthread_insts,
+                pc_occurrences=pc_occurrences,
+            )
+            trees[pc] = tree
         selector = TreeSelector(
             tree,
             latency_model,

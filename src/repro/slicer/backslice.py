@@ -27,6 +27,9 @@ def backward_slice(
     horizon = seq - window
     result: List[int] = []
     visited = {seq}
+    L = trace.as_lists()
+    src1 = L.src1
+    src2 = L.src2
     # Frontier kept as a descending-ordered worklist: because producers
     # always precede consumers, popping the largest pending seq yields the
     # slice already sorted by descending sequence number.
@@ -35,8 +38,7 @@ def backward_slice(
         current = max(frontier)
         frontier.remove(current)
         result.append(current)
-        dyn = trace[current]
-        for producer in (dyn.src1_seq, dyn.src2_seq):
+        for producer in (src1[current], src2[current]):
             if (
                 producer != NO_PRODUCER
                 and producer >= horizon

@@ -136,13 +136,14 @@ def build_slice_tree(
     branch pre-execution).
     """
     if pc_occurrences is None:
-        pc_occurrences = Counter(dyn.pc for dyn in trace)
+        pc_occurrences = trace.pc_occurrence_counts()
     root = SliceNode(pc=problem_pc, depth=0)
     tree = SliceTree(
         root_pc=problem_pc, root=root, trigger_counts=pc_occurrences
     )
     service = classification.service
     occurrences = trace.occurrences(problem_pc)
+    pc_l = trace.as_lists().pc
 
     for root_index, seq in enumerate(occurrences):
         slice_seqs = backward_slice(trace, seq, window, max_insts)
@@ -158,7 +159,7 @@ def build_slice_tree(
         if missed:
             node.count_miss += 1
         for slice_seq in slice_seqs[1:]:
-            pc = trace[slice_seq].pc
+            pc = pc_l[slice_seq]
             child = node.children.get(pc)
             if child is None:
                 child = SliceNode(pc=pc, depth=node.depth + 1, parent=node)

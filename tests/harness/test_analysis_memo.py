@@ -1,0 +1,84 @@
+"""Cross-cell analysis sharing: memoized classification, slice trees,
+cost functions, and optimized runs must never change results."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.critpath.classify import (
+    classify_trace_cached,
+    profile_geometry_key,
+)
+from repro.frontend import tracestore
+from repro.frontend.interpreter import interpret
+from repro.harness import figures, simcache
+from repro.harness.experiment import clear_baseline_cache
+from repro.pthsel.targets import Target
+from repro.workloads.registry import get_program
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    tracestore.clear()
+    clear_baseline_cache()
+    yield
+    tracestore.clear()
+    clear_baseline_cache()
+
+
+@pytest.fixture()
+def trace():
+    return interpret(get_program("gcc", "train"), max_instructions=60_000,
+                     require_halt=False)
+
+
+def test_geometry_key_ignores_latencies():
+    base = MachineConfig()
+    assert profile_geometry_key(
+        base.with_memory_latency(300)
+    ) == profile_geometry_key(base)
+    assert profile_geometry_key(
+        base.scaled_l2(128 * 1024, 10)
+    ) != profile_geometry_key(base)
+
+
+def test_classification_shared_across_latencies(trace):
+    machine = MachineConfig()
+    first = classify_trace_cached(trace, machine)
+    again = classify_trace_cached(trace, machine.with_memory_latency(300))
+    assert again is first
+    other_geom = classify_trace_cached(
+        trace, machine.scaled_l2(128 * 1024, 10)
+    )
+    assert other_geom is not first
+
+
+def test_classification_memo_disabled_by_env(trace, monkeypatch):
+    monkeypatch.setenv("REPRO_ANALYSIS_MEMO", "0")
+    machine = MachineConfig()
+    first = classify_trace_cached(trace, machine)
+    again = classify_trace_cached(trace, machine)
+    assert again is not first
+    assert first.service == again.service
+    assert first.mispredicted == again.mispredicted
+
+
+def _tiny_grid():
+    tracestore.clear()
+    clear_baseline_cache()
+    return [
+        {k: v for k, v in row.items() if not k.startswith("t_")}
+        for row in figures.figure5_memory_latency(
+            benchmarks=("gcc",),
+            latencies=(100, 200),
+            targets=(Target.LATENCY,),
+            jobs=1,
+        )
+    ]
+
+
+def test_grid_rows_identical_with_and_without_memo(monkeypatch):
+    with simcache.disabled():
+        shared = _tiny_grid()
+        monkeypatch.setenv("REPRO_ANALYSIS_MEMO", "0")
+        independent = _tiny_grid()
+    assert shared == independent

@@ -81,6 +81,10 @@ def test_run_text_includes_ed2_and_quiet_suppresses_describe(capsys):
 
 
 def test_run_log_level_emits_span_events(capsys):
+    # Earlier tests in this process may have warmed the in-process
+    # caches for this exact experiment; the span assertions below need
+    # the simulations to actually run.
+    experiment.clear_baseline_cache()
     assert main(["run", "gap", "--quiet", "--log-level", "info"]) == 0
     err = capsys.readouterr().err
     events = [json.loads(line) for line in err.splitlines() if line]
@@ -154,8 +158,8 @@ def test_baseline_cache_is_lru_not_fifo(monkeypatch):
         experiment, "get_program", lambda b, i: _FakeProgram(b)
     )
     monkeypatch.setattr(
-        experiment, "interpret",
-        lambda program, max_instructions: f"trace-{program}",
+        experiment.tracestore, "get_trace",
+        lambda program, max_instructions: (f"trace-{program}", 0.0),
     )
     monkeypatch.setattr(
         experiment, "simulate", lambda trace, machine: _FakeStats()

@@ -148,15 +148,15 @@ def test_single_job_grid_stays_in_process():
 def test_baseline_cache_keyed_by_workload_content(monkeypatch):
     clear_baseline_cache()
     machine = MachineConfig()
-    _, gcc_stats = _baseline_sim("gcc", "train", machine, SIM)
+    _, gcc_stats, _ = _baseline_sim("gcc", "train", machine, SIM)
     # Re-register "gcc" to build a different program.  A cache keyed on
     # (name, machine) would now serve the stale gcc result.
     monkeypatch.setitem(
         registry._BUILDERS, "gcc", registry._BUILDERS["twolf"]
     )
-    _, swapped_stats = _baseline_sim("gcc", "train", machine, SIM)
+    _, swapped_stats, _ = _baseline_sim("gcc", "train", machine, SIM)
     assert swapped_stats.cycles != gcc_stats.cycles
 
-    _, twolf_stats = _baseline_sim("twolf", "train", machine, SIM)
+    _, twolf_stats, _ = _baseline_sim("twolf", "train", machine, SIM)
     assert swapped_stats.cycles == twolf_stats.cycles
     clear_baseline_cache()
