@@ -11,6 +11,11 @@ Commands mirror the paper's evaluation:
 - ``list``               available benchmarks
 - ``cache stats|clear``  inspect / empty the persistent simulation cache
 - ``bench``              measure simulator + grid throughput
+- ``trace BENCH``        run one experiment with microarchitectural
+  tracing: Chrome/Perfetto + Kanata exports, top-down stall
+  attribution, and a per-event energy audit land in ``--out``
+- ``report [DIR]``       render a self-contained HTML report from a run
+  directory's manifest/results/utrace artifacts
 
 Every evaluation command accepts the global observability flags:
 
@@ -45,6 +50,12 @@ and the robustness flags:
 ``repro chaos`` runs a grid twice -- fault-free and under injected
 faults -- and reports whether recovery was complete, bit-identical, and
 fully accounted.
+
+Any evaluation command combined with ``--out DIR --trace-window
+START:END`` runs with microarchitectural tracing enabled (per-cell
+trace files under ``DIR/utrace/``, indexed in ``manifest.json``); the
+``trace`` subcommand is the single-experiment front door to the same
+machinery.
 """
 
 from __future__ import annotations
@@ -57,6 +68,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro import faults, obs
+from repro.obs import utrace
 from repro.config import (
     EnergyConfig,
     MachineConfig,
@@ -157,6 +169,14 @@ def _parser() -> argparse.ArgumentParser:
         help="force the NumPy trace-column backend (default: auto; "
         "REPRO_NUMPY=0/1 also selects it)",
     )
+    obs_flags.add_argument(
+        "--trace-window",
+        metavar="START:END",
+        default=None,
+        help="with --out DIR: enable microarchitectural tracing for "
+        "this cycle range (either side may be empty); traces land in "
+        "DIR/utrace/ and are indexed in manifest.json",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,6 +228,41 @@ def _parser() -> argparse.ArgumentParser:
                        help="write BENCH_<date>.json (implied by "
                        "--out-file)")
 
+    trace = sub.add_parser(
+        "trace", parents=[obs_flags],
+        help="run one experiment with microarchitectural tracing "
+        "(Chrome/Perfetto + Kanata exports, stall attribution, "
+        "energy audit)",
+    )
+    trace.add_argument("benchmark", choices=benchmark_names())
+    trace.add_argument("--target", default="L", choices=sorted(_TARGETS))
+    trace.add_argument("--profile-input", default="train",
+                       choices=("train", "ref"))
+    trace.add_argument("--quick", action="store_true",
+                       help="trace only the first 50k cycles "
+                       "(CI smoke mode; overridden by --trace-window)")
+    trace.add_argument("--format", action="append", default=None,
+                       choices=("chrome", "kanata"), dest="formats",
+                       help="export format(s) to write (default: both; "
+                       "repeatable)")
+    trace.add_argument("--max-insts", type=int, default=None,
+                       metavar="N",
+                       help="cap on recorded instruction lifecycles per "
+                       "simulation (default 200000)")
+    trace.add_argument("--no-energy-audit", action="store_true",
+                       help="skip per-event energy accumulation and the "
+                       "E1-E8 cross-check")
+
+    report = sub.add_parser(
+        "report", parents=[obs_flags],
+        help="render a self-contained HTML report from a run "
+        "directory's manifest/results/utrace artifacts",
+    )
+    report.add_argument("dir", nargs="?", default=None,
+                        help="run directory to render (default: --out)")
+    report.add_argument("--output", default=None, metavar="PATH",
+                        help="HTML output path (default: DIR/report.html)")
+
     chaos = sub.add_parser(
         "chaos", parents=[obs_flags],
         help="prove fault recovery: run a grid fault-free and under "
@@ -255,6 +310,14 @@ def _write_artifacts(
         return
     degraded = any(row.get("failed") for row in rows)
     extra.setdefault("degraded", degraded)
+    if utrace.enabled():
+        files = utrace.drain_artifacts()
+        extra.setdefault("utrace", {
+            "config": utrace.encode(),
+            "n_files": len(files),
+            "total_bytes": sum(int(a.get("bytes", 0)) for a in files),
+            "files": files,
+        })
     try:
         faults.raise_os_if("manifest.write", key=args.command)
         writer = obs.RunWriter(
@@ -332,6 +395,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --resume requires --out DIR", file=sys.stderr)
         return 2
 
+    traced = False
+    if args.command == "trace" or getattr(args, "trace_window", None):
+        if args.command == "trace" and not args.out:
+            args.out = f"trace_{args.benchmark}"
+        if not args.out:
+            print("error: --trace-window requires --out DIR",
+                  file=sys.stderr)
+            return 2
+        try:
+            window = None
+            if getattr(args, "trace_window", None):
+                window = utrace.parse_window(args.trace_window)
+            elif args.command == "trace" and args.quick:
+                window = (0, 50_000)
+            utrace.configure(
+                out_dir=args.out,
+                window=window,
+                formats=tuple(args.formats)
+                if getattr(args, "formats", None) else None,
+                energy_audit=not getattr(args, "no_energy_audit", False),
+                max_insts=getattr(args, "max_insts", None)
+                or utrace.DEFAULT_MAX_INSTS,
+            )
+            traced = True
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     policy = RetryPolicy(
         max_attempts=(
             args.retries
@@ -376,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # into a later in-process invocation (tests call main directly).
         if getattr(args, "inject_fault", None):
             faults.reset()
+        if traced:  # same hygiene for the tracing configuration
+            utrace.disable()
 
 
 def _dispatch(
@@ -430,6 +523,41 @@ def _dispatch(
                 print()
             print(format_table([result.summary_row()]))
         _write_artifacts(args, argv, [row])
+        return 0
+
+    if args.command == "trace":
+        result = run_experiment(
+            args.benchmark,
+            target=_TARGETS[args.target],
+            profile_input=args.profile_input,
+        )
+        row = result_row(result)
+        if args.json:
+            print(render_json_lines([row]))
+        else:
+            print(format_table([result.summary_row()]))
+        for art in result.trace_artifacts:
+            print(
+                f"  {art['kind']:<16} {art['bytes']:>12,} B  {art['path']}",
+                file=sys.stderr,
+            )
+        _write_artifacts(args, argv, [row])
+        return 0
+
+    if args.command == "report":
+        from repro.harness.htmlreport import render_report
+
+        run_dir = args.dir or args.out
+        if not run_dir:
+            print("error: report needs a run directory "
+                  "(positional DIR or --out DIR)", file=sys.stderr)
+            return 2
+        try:
+            path = render_report(run_dir, output=args.output)
+        except (ConfigError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(path)
         return 0
 
     if args.command == "figure2":

@@ -26,6 +26,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro import faults, obs
+from repro.obs import utrace
 from repro.branch.btb import BTB
 from repro.branch.predictors import HybridPredictor
 from repro.config import MachineConfig
@@ -239,6 +240,8 @@ class Pipeline:
         self.stats = SimStats()
         self.warm = warm
         self._ran = False
+        #: Artifact records written by utrace when tracing is enabled.
+        self.trace_artifacts: List[Dict[str, object]] = []
 
     def _warm_caches(self) -> None:
         """Functional warm-up pass, mirroring the paper's sampled-run cache
@@ -355,6 +358,29 @@ class Pipeline:
         now = 0
         committed = 0
 
+        # Microarchitectural tracing (repro.obs.utrace): one collector
+        # per traced run.  The disabled fast path is a single hoisted
+        # boolean -- every hook below hides behind ``if trace_on``, the
+        # same pattern as the debug heartbeat, so an untraced simulation
+        # pays one local load per guarded site and no calls.
+        tracer = utrace.collector_for(cfg)
+        trace_on = tracer is not None
+        if trace_on:
+            tr_fetch_main = tracer.fetch_main
+            tr_fetch_pth = tracer.fetch_pth
+            tr_fetch_block = tracer.fetch_block
+            tr_bpred = tracer.bpred
+            tr_dispatch = tracer.dispatch
+            tr_issue = tracer.issue
+            tr_alu = tracer.alu
+            tr_mem = tracer.mem
+            tr_retire = tracer.retire
+            tr_commit = tracer.committed
+            tr_replay = tracer.replay
+            tr_redirect = tracer.redirect
+            tr_spawn = tracer.spawn
+            tr_idle = tracer.idle
+
         # -------------------------------------------------------------- #
         # Helpers (closures over the hot state).
         # -------------------------------------------------------------- #
@@ -406,12 +432,17 @@ class Pipeline:
                 fetch_active.append(_Context(spawn, next_uid, now))
                 next_uid += len(spawn.insts)
                 stats.spawns_started += 1
+                if trace_on:
+                    tr_spawn(now, spawn.static_id, trigger_seq)
 
         # -------------------------------------------------------------- #
         # Pipeline stages.
         # -------------------------------------------------------------- #
 
-        def do_commit() -> bool:
+        def do_commit() -> int:
+            """Retire up to ``commit_width`` ready heads; returns the
+            retire count (the cycle's ``retiring`` slots for top-down
+            attribution)."""
             nonlocal committed, phys_used
             n = 0
             while n < commit_width and rob:
@@ -424,9 +455,13 @@ class Pipeline:
                     phys_used -= 1
                 committed += 1
                 n += 1
+                if trace_on:
+                    tr_retire(now, head)
             if n:
                 act.committed_main += n
-            return n > 0
+                if trace_on:
+                    tr_commit(n)
+            return n
 
         def process_completions() -> bool:
             fired = False
@@ -449,6 +484,11 @@ class Pipeline:
                 )
                 if result.retry:
                     return False
+                if trace_on:
+                    tr_mem(
+                        entry.is_pth,
+                        result.l2_accessed or result.mem_access,
+                    )
                 if entry.is_pth:
                     act.dmem_accesses_pth += 1
                     if result.l2_accessed or result.mem_access:
@@ -481,6 +521,8 @@ class Pipeline:
                         stats.covered_misses_full += 1
                         stats.useful_prefetches += 1
                 schedule_completion(entry.uid, result.complete_at)
+                if trace_on:
+                    tr_issue(now, entry.uid, result.complete_at)
             elif kind == _STORE:
                 result = data_access(entry.addr, now, is_write=True)
                 if result.retry:
@@ -488,18 +530,27 @@ class Pipeline:
                 act.dmem_accesses_main += 1
                 if result.l2_accessed or result.mem_access:
                     act.l2_accesses_main += 1
+                if trace_on:
+                    tr_mem(False, result.l2_accessed or result.mem_access)
+                    tr_issue(now, entry.uid, now + 1)
                 # Stores drain through the store buffer off the critical path.
                 schedule_completion(entry.uid, now + 1)
             elif kind == _MUL:
                 schedule_completion(entry.uid, now + mul_latency)
+                if trace_on:
+                    tr_issue(now, entry.uid, now + mul_latency)
             else:  # ALU or BRANCH
                 schedule_completion(entry.uid, now + 1)
+                if trace_on:
+                    tr_issue(now, entry.uid, now + 1)
                 if kind == _BRANCH and entry.seq == pending_redirect:
                     redirect_clear_at = now + 1
             if entry.is_pth:
                 stats.pinsts_executed += 1
                 if kind in (_ALU, _MUL):
                     act.alu_ops_pth += 1
+                    if trace_on:
+                        tr_alu(True)
                 if entry.hint_seq >= 0:
                     done = (
                         p_completion.get(entry.uid)
@@ -514,6 +565,8 @@ class Pipeline:
             else:
                 if kind in (_ALU, _MUL, _BRANCH):
                     act.alu_ops_main += 1
+                    if trace_on:
+                        tr_alu(False)
             return True
 
         def do_issue() -> bool:
@@ -553,6 +606,9 @@ class Pipeline:
                         rs_used_main -= 1
                     issued += 1
                 else:
+                    # MSHR-blocked: the access will replay next chance.
+                    if trace_on:
+                        tr_replay(now, entry.uid)
                     retry.append(entry)
             deferred.extend(retry)
             return issued > 0
@@ -576,6 +632,8 @@ class Pipeline:
                 frontend_pipe.popleft()
                 rob.append(seq)
                 act.dispatched_main += 1
+                if trace_on:
+                    tr_dispatch(now, seq, False)
                 if writes:
                     phys_used += 1
                 if needs_rs:
@@ -599,6 +657,8 @@ class Pipeline:
                 act.dispatched_pth += 1
                 spec = ctx.spawn.insts[idx]
                 uid = ctx.uid_base + idx
+                if trace_on:
+                    tr_dispatch(now, uid, True)
                 entry = _Entry(
                     uid,
                     _PCLASS_TO_KIND[spec.klass],
@@ -628,8 +688,9 @@ class Pipeline:
                     if ctx.next_fetch > now:
                         continue
                     body = ctx.spawn.insts
-                    block_end = min(ctx.fetch_idx + width, len(body))
-                    for idx in range(ctx.fetch_idx, block_end):
+                    block_start = ctx.fetch_idx
+                    block_end = min(block_start + width, len(body))
+                    for idx in range(block_start, block_end):
                         pth_pipe.append((now + frontend_depth, ctx, idx))
                         ctx.in_flight += 1
                         stats.pinsts_fetched += 1
@@ -639,6 +700,11 @@ class Pipeline:
                         ctx.fetched_all = True
                         fetch_active.remove(ctx)
                     act.fetch_blocks_pth += 1
+                    if trace_on:
+                        tr_fetch_block(True)
+                        sid = ctx.spawn.static_id
+                        for idx in range(block_start, block_end):
+                            tr_fetch_pth(now, ctx.uid_base + idx, sid)
                     return True
 
             # Main thread.
@@ -668,6 +734,8 @@ class Pipeline:
                 return False
 
             act.fetch_blocks_main += 1
+            if trace_on:
+                tr_fetch_block(False)
             fetched = 0
             while (
                 fetched < width
@@ -681,11 +749,15 @@ class Pipeline:
                 frontend_pipe.append((now + frontend_depth, idx))
                 next_seq += 1
                 fetched += 1
+                if trace_on:
+                    tr_fetch_main(now, idx, pc)
                 ctrl = ctrl_arr[idx]
                 if ctrl == _CTRL_BRANCH:
                     taken = taken_arr[idx]
                     stats.branches += 1
                     act.bpred_accesses += 1
+                    if trace_on:
+                        tr_bpred()
                     predicted = predict_and_update(pc, taken)
                     hint = branch_hints.get(idx)
                     if hint is not None and hint[0] <= now:
@@ -698,6 +770,8 @@ class Pipeline:
                         stats.mispredictions += 1
                         pending_redirect = idx
                         redirect_clear_at = None
+                        if trace_on:
+                            tr_redirect(now, idx)
                         break
                     if taken:
                         branch_next_pc = next_pc_arr[idx]
@@ -725,28 +799,71 @@ class Pipeline:
         # Cycle attribution accumulates into plain integers and is flushed
         # into ``stats.breakdown`` once after the loop: the per-cycle
         # getattr/setattr of ``LatencyBreakdown.add`` was a top cost.
+        # The same applies to the top-down issue-slot attribution
+        # (``stats.stalls``): eight plain-int slot counters, flushed once.
         bd_mem = bd_l2 = bd_exec = bd_commit = bd_fetch = 0
+        sl_retire = sl_fetch = sl_branch = sl_load = 0
+        sl_rob = sl_rs = sl_pth = sl_exec = 0
         load_kind_get = load_kind.get
 
-        def attribute_cycles(n: int) -> None:
+        def attribute_cycles(n: int, retired: int = 0) -> None:
+            """Charge ``n`` cycles to a latency category and all
+            ``width * n`` issue slots to top-down causes.
+
+            ``retired`` slots (capped at ``width``) go to ``retiring``;
+            the remainder is charged to exactly one cause read off the
+            machine state, so the attributed slots sum to
+            ``width * cycles`` by construction (StallBreakdown.verify).
+            """
             nonlocal bd_mem, bd_l2, bd_exec, bd_commit, bd_fetch
+            nonlocal sl_retire, sl_fetch, sl_branch, sl_load
+            nonlocal sl_rob, sl_rs, sl_pth, sl_exec
+            if trace_on:
+                tr_idle(n)
+            r = retired if retired < width else width
+            sl_retire += r
+            slots = width * n - r
             if not rob:
                 bd_fetch += n
+                # Empty window: the frontend is the bottleneck -- either
+                # recovering from a mispredicted branch or starved by
+                # I-cache misses / fetch bandwidth.
+                if pending_redirect is not None:
+                    sl_branch += slots
+                else:
+                    sl_fetch += slots
                 return
             head = rob[0]
             t = completion[head]
             if t != _NOT_DONE and t <= now:
                 bd_commit += n
+                # Head is done but commit bandwidth limits drain: no
+                # structural hazard, pure bandwidth.
+                sl_exec += slots
                 return
             if kind_arr[head] == _LOAD:
                 kind = load_kind_get(head)
                 if kind == "mem":
                     bd_mem += n
+                    sl_load += slots
                     return
                 if kind == "l2":
                     bd_l2 += n
+                    sl_load += slots
                     return
             bd_exec += n
+            # Execution-bound: charge the structural hazard if one is
+            # live (window full, stations exhausted -- distinguishing
+            # p-thread reservation-station contention), else pure
+            # execution latency.
+            if len(rob) >= rob_capacity:
+                sl_rob += slots
+            elif rs_used_pth and rs_used_main + rs_used_pth >= rs_capacity:
+                sl_pth += slots
+            elif rs_used_main >= main_rs_cap:
+                sl_rs += slots
+            else:
+                sl_exec += slots
 
         # -------------------------------------------------------------- #
         # Main loop.
@@ -760,6 +877,9 @@ class Pipeline:
         # disabled fast path costs one boolean test per iteration.
         heartbeat = obs.is_enabled("debug")
         heartbeat_next = HEARTBEAT_CYCLES
+        hb_last_wall = wall_start
+        hb_last_cycles = 0
+        hb_last_committed = 0
         # The ``pipeline.step`` fault site costs one hoisted boolean test
         # per iteration when inactive; when armed it is sampled once at
         # simulation start and then at heartbeat-sized cycle intervals.
@@ -782,20 +902,47 @@ class Pipeline:
                         flush=True,
                     )
             if heartbeat and now >= heartbeat_next:
-                wall_s = time.perf_counter() - wall_start
+                wall_now = time.perf_counter()
+                wall_s = wall_now - wall_start
+                # Interval rates (since the previous heartbeat) drive the
+                # ETA: committed instructions are monotone toward n_main,
+                # so the retired-rate projection converges even when the
+                # cycle rate swings between miss-bound and compute-bound
+                # program phases.
+                dt = wall_now - hb_last_wall
+                retired_rate = (
+                    (committed - hb_last_committed) / dt if dt > 0 else 0.0
+                )
+                eta_s = (
+                    (n_main - committed) / retired_rate
+                    if retired_rate > 0
+                    else None
+                )
                 obs.log_event(
                     "sim_heartbeat",
                     level="debug",
                     cycles=now,
                     committed=committed,
+                    progress_pct=round(100.0 * committed / n_main, 2)
+                    if n_main
+                    else 100.0,
                     spawns=stats.spawns_started,
                     wall_s=round(wall_s, 3),
                     cycles_per_sec=round(now / wall_s) if wall_s else 0,
+                    interval_cycles_per_sec=round((now - hb_last_cycles) / dt)
+                    if dt > 0
+                    else 0,
+                    interval_retired_per_sec=round(retired_rate),
+                    eta_s=round(eta_s, 1) if eta_s is not None else None,
                 )
+                hb_last_wall = wall_now
+                hb_last_cycles = now
+                hb_last_committed = committed
                 heartbeat_next = now + HEARTBEAT_CYCLES
             if completion_events and completion_events[0][0] <= now:
                 process_completions()
-            active = do_commit()
+            ncommitted = do_commit()
+            active = ncommitted > 0
             active |= do_issue()
             active |= do_dispatch()
             active |= do_fetch()
@@ -807,12 +954,12 @@ class Pipeline:
                 )
 
             if committed >= n_main:
-                attribute_cycles(1)
+                attribute_cycles(1, ncommitted)
                 now += 1
                 break
 
             if active or ready:
-                attribute_cycles(1)
+                attribute_cycles(1, ncommitted)
                 now += 1
                 continue
 
@@ -856,6 +1003,22 @@ class Pipeline:
         breakdown.exec += bd_exec
         breakdown.commit += bd_commit
         breakdown.fetch += bd_fetch
+        stalls = stats.stalls
+        stalls.retiring += sl_retire
+        stalls.fetch_starved += sl_fetch
+        stalls.branch_recovery += sl_branch
+        stalls.load_miss += sl_load
+        stalls.rob_full += sl_rob
+        stalls.rs_full += sl_rs
+        stalls.pthread_contention += sl_pth
+        stalls.exec += sl_exec
+
+        if trace_on:
+            # Traced runs self-check the slot invariant, then audit the
+            # per-event energy and export the trace artifacts -- all loud
+            # on failure.
+            stalls.verify(width, now)
+            self.trace_artifacts = tracer.finalize(stats)
 
         wall_s = time.perf_counter() - wall_start
         _SIM_RUNS.add()
@@ -866,12 +1029,13 @@ class Pipeline:
             _SIM_CYCLE_RATE.set(round(now / wall_s))
         if obs.is_enabled("info"):
             obs.log_event(
-                "sim_done",
+                "sim.done",
                 cycles=now,
                 committed=committed,
                 ipc=round(stats.ipc, 4),
                 spawns=stats.spawns_started,
                 pinsts=stats.pinsts_executed,
+                stall_slots=stalls.as_dict(),
                 wall_s=round(wall_s, 6),
                 cycles_per_sec=round(now / wall_s) if wall_s else 0,
                 retired_per_sec=round(committed / wall_s) if wall_s else 0,

@@ -12,6 +12,22 @@ from typing import Dict, Set
 #: stalls charged to fetch).
 BREAKDOWN_CATEGORIES = ("mem", "l2", "exec", "commit", "fetch")
 
+#: Top-down slot attribution categories.  Every issue slot of every cycle
+#: (``width * cycles`` slots total) is charged to exactly one of these:
+#: ``retiring`` for slots consumed by committing instructions, the six
+#: stall causes for the rest, and ``exec`` for slots waiting purely on
+#: execution/commit bandwidth with no structural hazard.
+STALL_CATEGORIES = (
+    "retiring",
+    "fetch_starved",
+    "branch_recovery",
+    "load_miss",
+    "rob_full",
+    "rs_full",
+    "pthread_contention",
+    "exec",
+)
+
 
 @dataclass
 class LatencyBreakdown:
@@ -34,8 +50,73 @@ class LatencyBreakdown:
         return {c: getattr(self, c) for c in BREAKDOWN_CATEGORIES}
 
     def fractions(self) -> Dict[str, float]:
-        total = self.total or 1
+        """Per-category share of the total; all-zero for an empty run
+        (a zero-cycle simulation must not divide by zero)."""
+        total = self.total
+        if not total:
+            return {c: 0.0 for c in BREAKDOWN_CATEGORIES}
         return {c: getattr(self, c) / total for c in BREAKDOWN_CATEGORIES}
+
+
+@dataclass
+class StallBreakdown:
+    """Top-down issue-slot attribution.
+
+    The pipeline has ``width`` issue slots per cycle.  Each cycle, slots
+    consumed by retiring instructions are ``retiring``; every remaining
+    slot is charged to exactly one stall cause determined from the
+    machine state (the ROB-head's condition, structural occupancy, and
+    the fetch/redirect state).  The accounting is exhaustive and
+    exclusive by construction:
+
+        ``total == width * cycles``
+
+    which :meth:`verify` asserts and the stall-attribution tests check
+    across benchmarks and configurations.
+    """
+
+    retiring: int = 0
+    fetch_starved: int = 0
+    branch_recovery: int = 0
+    load_miss: int = 0
+    rob_full: int = 0
+    rs_full: int = 0
+    pthread_contention: int = 0
+    exec: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.retiring
+            + self.fetch_starved
+            + self.branch_recovery
+            + self.load_miss
+            + self.rob_full
+            + self.rs_full
+            + self.pthread_contention
+            + self.exec
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {c: getattr(self, c) for c in STALL_CATEGORIES}
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-category share of all slots; all-zero for an empty run."""
+        total = self.total
+        if not total:
+            return {c: 0.0 for c in STALL_CATEGORIES}
+        return {c: getattr(self, c) / total for c in STALL_CATEGORIES}
+
+    def verify(self, width: int, cycles: int) -> None:
+        """Assert the sum-to-slots invariant; raises ``ValueError`` with
+        the full breakdown on violation."""
+        expected = width * cycles
+        if self.total != expected:
+            raise ValueError(
+                f"stall attribution violates the slot invariant: "
+                f"attributed {self.total} slots, expected width*cycles = "
+                f"{width}*{cycles} = {expected} ({self.as_dict()})"
+            )
 
 
 @dataclass
@@ -71,6 +152,8 @@ class SimStats:
     cycles: int = 0
     committed: int = 0
     breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    #: Top-down issue-slot attribution (always on; sums to width*cycles).
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
     activity: ActivityCounts = field(default_factory=ActivityCounts)
 
     # Branch behavior.

@@ -51,12 +51,19 @@ class EnergyBreakdown:
         return sum(v for k, v in self.joules.items() if k.endswith("_pth"))
 
     def fractions(self) -> Dict[str, float]:
-        total = self.total or 1.0
+        """Per-category share of the total; all-zero for an empty run
+        (a zero-cycle simulation consumes no energy, and must not divide
+        by zero)."""
+        total = self.total
+        if not total:
+            return {k: 0.0 for k in self.joules}
         return {k: v / total for k, v in self.joules.items()}
 
     def relative_to(self, baseline_total: float) -> Dict[str, float]:
         """Each category as a percentage of a baseline total (the paper's
-        stacks are normalized to the unoptimized run's 100%)."""
+        stacks are normalized to the unoptimized run's 100%).  A
+        zero/empty baseline yields all-zero percentages rather than a
+        division error."""
         if baseline_total <= 0:
-            raise ValueError("baseline total must be positive")
+            return {k: 0.0 for k in self.joules}
         return {k: 100.0 * v / baseline_total for k, v in self.joules.items()}

@@ -91,6 +91,25 @@ class FaultInjectedError(StructuredError):
     """
 
 
+class EnergyAuditError(StructuredError):
+    """Per-event accumulated energy diverged from the closed-form E1-E8
+    totals beyond the audit tolerance.
+
+    A deterministic accounting bug, never a transient: the simulator's
+    event stream and its aggregate activity counters disagree.  Context:
+    ``max_rel_error``, ``tolerance``, ``worst_category``,
+    ``event_total_joules``, ``closed_form_joules``.
+    """
+
+
+class TraceExportError(StructuredError):
+    """A microarchitectural trace artifact could not be written or failed
+    format validation.
+
+    Context: ``path`` and/or ``reason``.
+    """
+
+
 class PipelineDeadlockError(ExecutionError):
     """The timing simulator can make no further progress.
 
@@ -115,6 +134,10 @@ NON_RETRYABLE = (
     ConfigError,
     SelectionError,
     WorkloadError,
+    # Accounting/export divergence is a code bug, not a transient: a
+    # retry replays the same deterministic simulation and fails again.
+    EnergyAuditError,
+    TraceExportError,
 )
 
 

@@ -75,6 +75,7 @@ from typing import (
 )
 
 from repro import faults, obs
+from repro.obs import utrace
 from repro.config import (
     EnergyConfig,
     MachineConfig,
@@ -341,6 +342,7 @@ def _worker_init(
     fault_specs: Sequence[str],
     fail_start: bool,
     column_backend: Optional[str] = None,
+    utrace_payload: Optional[Dict[str, object]] = None,
 ) -> None:
     simcache.configure(cache_dir=cache_dir, enabled=cache_enabled)
     if log_level != "off":
@@ -349,6 +351,10 @@ def _worker_init(
     # traces); a spawn-started worker must re-apply any programmatic
     # override (--numpy) the environment variables don't carry.
     columns.set_backend(column_backend)
+    # Microarchitectural tracing configuration must survive spawn too;
+    # worker-side trace files land in the same --out directory and the
+    # artifact records ride back on the ExperimentResult.
+    utrace.apply_encoded(utrace_payload)
     faults.configure(fault_specs)
     if fail_start:
         # The parent drew the worker.start fault for this pool epoch
@@ -375,6 +381,11 @@ def _execute_job(
             "worker.hang", key="hang"
         ):
             time.sleep(HANG_SECONDS)
+        if utrace.enabled():
+            # Distinct sweep cells can share a benchmark+target label;
+            # the cell key disambiguates their trace file names.
+            with utrace.scope(cell=cell_key[:12]):
+                return job.run()
         return job.run()
 
 
@@ -455,14 +466,27 @@ def _journal_record(
     elapsed_s: float,
 ) -> None:
     if journal is not None:
-        journal.record(
-            key,
-            result,
-            benchmark=job.benchmark,
-            target=job.target.label,
-            attempts=attempts,
-            elapsed_s=round(elapsed_s, 3),
-        )
+        meta: Dict[str, object] = {
+            "benchmark": job.benchmark,
+            "target": job.target.label,
+            "attempts": attempts,
+            "elapsed_s": round(elapsed_s, 3),
+        }
+        arts = getattr(result, "trace_artifacts", None)
+        if arts:
+            # Resume treats a traced cell as complete only while its
+            # trace files exist (Journal.result_for checks these paths).
+            meta["trace_artifacts"] = [a["path"] for a in arts]
+        journal.record(key, result, **meta)
+
+
+def _adopt_trace_artifacts(result: object) -> None:
+    """Register trace artifacts produced outside this process's utrace
+    registry (worker-side runs, journal-resumed cells) so the CLI's
+    manifest drain sees every file of the grid."""
+    arts = getattr(result, "trace_artifacts", None)
+    if arts:
+        utrace.register_artifacts(list(arts))
 
 
 def _make_failure(
@@ -564,6 +588,7 @@ def _new_pool(workers: int, epoch: int) -> ProcessPoolExecutor:
             faults.encode_plan(),
             fail_start,
             columns.backend(),
+            utrace.encode(),
         ),
     )
     _POOLS_STARTED.add()
@@ -635,6 +660,8 @@ def run_experiments(
             cached = journal.result_for(key)
             if cached is not None:
                 results[index] = cached
+                if utrace.enabled():
+                    _adopt_trace_artifacts(cached)
                 _CELLS_RESUMED.add()
                 obs.log_event(
                     "cell_resumed",
@@ -772,7 +799,9 @@ def _run_pool(
         any failure here just logs and moves on (a broken pool is
         rebuilt, everything else is retried implicitly by the jobs
         themselves)."""
-        if simcache.get_cache() is None:
+        # Under tracing there is nothing to share: the stats caches are
+        # bypassed so each traced cell must simulate its own baseline.
+        if simcache.get_cache() is None or utrace.enabled():
             return
         shared = _dedupe_baselines([job for _, job, _ in to_run])
         if not shared:
@@ -901,6 +930,9 @@ def _run_pool(
                     flight.attempt,
                     time.monotonic() - started_at[flight.index],
                 )
+                # Worker-side trace files are registered here in the
+                # parent: the worker's registry dies with the process.
+                _adopt_trace_artifacts(result)
                 results[flight.index] = result
 
             if broken:

@@ -1,0 +1,471 @@
+"""Opt-in microarchitectural tracing (``repro.obs.utrace``).
+
+The introspection layer behind ``repro trace``: when enabled, the timing
+pipeline records **instruction lifecycle events** (fetch -> dispatch ->
+issue -> complete -> retire, plus replays, redirects, and p-thread
+spawns) and accumulates **per-event energy** through
+:class:`repro.energy.wattch.EnergyAudit`, which is cross-checked against
+the closed-form E1-E8 totals at the end of every traced simulation.
+
+Design constraints, in order:
+
+- **Zero overhead when off.**  The pipeline asks once per simulation
+  (:func:`collector_for`) and hoists a single ``trace_on`` boolean into
+  its hot-loop locals -- the same no-op fast-path pattern as the obs
+  heartbeat.  With tracing disabled nothing below this module's
+  ``_CONFIG is None`` check ever runs.
+- **Bounded volume.**  Lifecycle records are confined to a cycle window
+  (``--trace-window START:END``) and capped at ``max_insts`` recorded
+  instructions; energy auditing always covers the whole run (the E1-E8
+  cross-check is meaningless on a partial stream).
+- **Parallel-engine safe.**  Configuration is encodable
+  (:func:`encode`/:func:`apply_encoded`) so worker initializers can
+  re-apply it under spawn, artifact records flow back to the parent on
+  the :class:`~repro.harness.experiment.ExperimentResult`, and file
+  names carry the scoped cell key so concurrent sweep cells never
+  collide.
+
+Typical use::
+
+    utrace.configure(out_dir="runs/trace", window=(0, 500_000))
+    with utrace.scope(label="mcf.L.optimized", energy=energy_cfg):
+        stats = simulate(trace, machine, pthreads)
+    artifacts = utrace.drain_artifacts()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: An effectively-unbounded window end (cycle counts stay far below it).
+WINDOW_END_MAX = 1 << 62
+
+#: Default cap on recorded instruction lifecycles per simulation.
+DEFAULT_MAX_INSTS = 200_000
+
+#: Export formats this layer knows how to write.
+FORMATS = ("chrome", "kanata")
+
+#: Subdirectory of the run's ``--out`` directory holding trace files.
+UTRACE_DIR = "utrace"
+
+
+@dataclass(frozen=True)
+class UTraceConfig:
+    """Process-wide tracing configuration (immutable once applied)."""
+
+    out_dir: str
+    window: Tuple[int, int] = (0, WINDOW_END_MAX)
+    formats: Tuple[str, ...] = FORMATS
+    energy_audit: bool = True
+    audit_tolerance: float = 1e-3
+    max_insts: int = DEFAULT_MAX_INSTS
+
+
+_CONFIG: Optional[UTraceConfig] = None
+
+#: Artifact records produced by finalized collectors in this process.
+_ARTIFACTS: List[Dict[str, Any]] = []
+_ARTIFACTS_LOCK = threading.Lock()
+
+_scope = threading.local()  # .label, .cell, .energy
+
+
+def parse_window(spec: str) -> Tuple[int, int]:
+    """Parse a ``START:END`` cycle range (either side may be empty)."""
+    match = re.fullmatch(r"(\d*):(\d*)", spec.strip())
+    if match is None:
+        raise ConfigError(
+            f"bad trace window {spec!r}: expected START:END cycle range"
+        )
+    start = int(match.group(1)) if match.group(1) else 0
+    end = int(match.group(2)) if match.group(2) else WINDOW_END_MAX
+    if end < start:
+        raise ConfigError(
+            f"bad trace window {spec!r}: END must be >= START"
+        )
+    return (start, end)
+
+
+def configure(
+    out_dir: str,
+    window: Optional[Tuple[int, int]] = None,
+    formats: Optional[Tuple[str, ...]] = None,
+    energy_audit: bool = True,
+    audit_tolerance: float = 1e-3,
+    max_insts: int = DEFAULT_MAX_INSTS,
+) -> UTraceConfig:
+    """Enable tracing process-wide; subsequent simulations are traced."""
+    global _CONFIG
+    formats = tuple(formats) if formats is not None else FORMATS
+    for fmt in formats:
+        if fmt not in FORMATS:
+            raise ConfigError(
+                f"unknown trace format {fmt!r}; expected one of {FORMATS}"
+            )
+    _CONFIG = UTraceConfig(
+        out_dir=out_dir,
+        window=window or (0, WINDOW_END_MAX),
+        formats=formats,
+        energy_audit=energy_audit,
+        audit_tolerance=audit_tolerance,
+        max_insts=max_insts,
+    )
+    return _CONFIG
+
+
+def disable() -> None:
+    """Return to the off-by-default state (tests and CLI teardown)."""
+    global _CONFIG
+    _CONFIG = None
+
+
+def enabled() -> bool:
+    return _CONFIG is not None
+
+
+def config() -> Optional[UTraceConfig]:
+    return _CONFIG
+
+
+def encode() -> Optional[Dict[str, Any]]:
+    """The active configuration as a plain dict for worker initargs."""
+    if _CONFIG is None:
+        return None
+    return {
+        "out_dir": _CONFIG.out_dir,
+        "window": list(_CONFIG.window),
+        "formats": list(_CONFIG.formats),
+        "energy_audit": _CONFIG.energy_audit,
+        "audit_tolerance": _CONFIG.audit_tolerance,
+        "max_insts": _CONFIG.max_insts,
+    }
+
+
+def apply_encoded(payload: Optional[Dict[str, Any]]) -> None:
+    """Worker-side: re-apply a parent's :func:`encode` payload."""
+    if payload is None:
+        disable()
+        return
+    configure(
+        out_dir=payload["out_dir"],
+        window=tuple(payload["window"]),
+        formats=tuple(payload["formats"]),
+        energy_audit=payload["energy_audit"],
+        audit_tolerance=payload["audit_tolerance"],
+        max_insts=payload["max_insts"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Scoping: who is being simulated (labels artifact files) and with which
+# energy configuration (calibrates the audit).
+# --------------------------------------------------------------------- #
+
+
+@contextlib.contextmanager
+def scope(
+    label: Optional[str] = None,
+    energy: Optional[Any] = None,
+    cell: Optional[str] = None,
+) -> Iterator[None]:
+    """Attach a label / energy config / cell key to nested simulations."""
+    prev = (
+        getattr(_scope, "label", None),
+        getattr(_scope, "energy", None),
+        getattr(_scope, "cell", None),
+    )
+    if label is not None:
+        _scope.label = label
+    if energy is not None:
+        _scope.energy = energy
+    if cell is not None:
+        _scope.cell = cell
+    try:
+        yield
+    finally:
+        _scope.label, _scope.energy, _scope.cell = prev
+
+
+def current_label() -> Optional[str]:
+    return getattr(_scope, "label", None)
+
+
+def current_energy() -> Optional[Any]:
+    return getattr(_scope, "energy", None)
+
+
+def current_cell() -> Optional[str]:
+    return getattr(_scope, "cell", None)
+
+
+# --------------------------------------------------------------------- #
+# Artifact registry.  Collectors register what they wrote; the harness
+# ships worker-side records back on the ExperimentResult and the CLI
+# drains the registry into manifest.json.
+# --------------------------------------------------------------------- #
+
+
+def register_artifacts(artifacts: List[Dict[str, Any]]) -> None:
+    with _ARTIFACTS_LOCK:
+        _ARTIFACTS.extend(artifacts)
+
+
+def artifact_mark() -> int:
+    """Current registry length; pair with :func:`artifacts_since`."""
+    return len(_ARTIFACTS)
+
+
+def artifacts_since(mark: int) -> List[Dict[str, Any]]:
+    with _ARTIFACTS_LOCK:
+        return [dict(a) for a in _ARTIFACTS[mark:]]
+
+
+def drain_artifacts() -> List[Dict[str, Any]]:
+    """Pop every registered artifact record (CLI manifest writing)."""
+    with _ARTIFACTS_LOCK:
+        out = list(_ARTIFACTS)
+        _ARTIFACTS.clear()
+    return out
+
+
+def _sanitize(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._+-]+", "_", label).strip("._") or "sim"
+
+
+# --------------------------------------------------------------------- #
+# The collector.
+# --------------------------------------------------------------------- #
+
+# Lifecycle record slots (per recorded instruction).
+_TID, _PC, _FETCH, _DISPATCH, _ISSUE, _COMPLETE, _RETIRE = range(7)
+
+#: Thread id of the main thread in exported traces; p-thread contexts
+#: use ``1 + static_id``.
+MAIN_TID = 0
+
+
+class Collector:
+    """Event sink for one traced simulation.
+
+    The pipeline hoists bound methods of this object into its hot-loop
+    locals and calls them behind a single ``trace_on`` boolean.  All
+    lifecycle recording is window- and volume-capped; energy auditing
+    (when enabled) covers the entire run.
+    """
+
+    def __init__(
+        self,
+        machine: Any,
+        cfg: Optional[UTraceConfig] = None,
+        label: Optional[str] = None,
+        energy: Optional[Any] = None,
+    ) -> None:
+        cfg = cfg or _CONFIG
+        if cfg is None:
+            raise ConfigError("utrace is not configured")
+        self.cfg = cfg
+        self.machine = machine
+        self.label = label or current_label() or "sim"
+        self.cell = current_cell()
+        self.t0, self.t1 = cfg.window
+        #: uid -> [tid, pc, fetch, dispatch, issue, complete, retire]
+        self.insts: Dict[int, List[int]] = {}
+        self.dropped_insts = 0
+        self.replays: List[Tuple[int, int]] = []  # (cycle, uid)
+        self.redirects: List[Tuple[int, int]] = []  # (cycle, branch seq)
+        self.spawn_events: List[Tuple[int, int, int]] = []
+        self.audit = None
+        if cfg.energy_audit:
+            from repro.config import EnergyConfig
+            from repro.energy.wattch import EnergyModel
+
+            energy_cfg = energy or current_energy() or EnergyConfig()
+            self.audit = EnergyModel(energy_cfg, machine).audit()
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _record(self, now: int, uid: int, tid: int, pc: int) -> bool:
+        if now < self.t0 or now > self.t1:
+            return False
+        if len(self.insts) >= self.cfg.max_insts:
+            self.dropped_insts += 1
+            return False
+        self.insts[uid] = [tid, pc, now, -1, -1, -1, -1]
+        return True
+
+    def fetch_main(self, now: int, seq: int, pc: int) -> None:
+        self._record(now, seq, MAIN_TID, pc)
+
+    def fetch_pth(self, now: int, uid: int, static_id: int) -> None:
+        self._record(now, uid, 1 + static_id, -1)
+
+    def dispatch(self, now: int, uid: int, is_pth: bool) -> None:
+        rec = self.insts.get(uid)
+        if rec is not None:
+            rec[_DISPATCH] = now
+        if self.audit is not None:
+            self.audit.dispatch(is_pth)
+
+    def issue(self, now: int, uid: int, complete_at: int) -> None:
+        rec = self.insts.get(uid)
+        if rec is not None:
+            rec[_ISSUE] = now
+            rec[_COMPLETE] = complete_at
+
+    def retire(self, now: int, uid: int) -> None:
+        rec = self.insts.get(uid)
+        if rec is not None:
+            rec[_RETIRE] = now
+
+    def replay(self, now: int, uid: int) -> None:
+        if self.t0 <= now <= self.t1:
+            self.replays.append((now, uid))
+
+    def redirect(self, now: int, seq: int) -> None:
+        if self.t0 <= now <= self.t1:
+            self.redirects.append((now, seq))
+
+    def spawn(self, now: int, static_id: int, trigger_seq: int) -> None:
+        if self.t0 <= now <= self.t1:
+            self.spawn_events.append((now, static_id, trigger_seq))
+
+    # -- energy-audit events ------------------------------------------- #
+    # Thin pass-throughs kept as methods so the pipeline needs exactly
+    # one tracer handle; each mirrors one ActivityCounts increment.
+
+    def fetch_block(self, is_pth: bool) -> None:
+        if self.audit is not None:
+            self.audit.fetch_block(is_pth)
+
+    def bpred(self) -> None:
+        if self.audit is not None:
+            self.audit.bpred_access()
+
+    def alu(self, is_pth: bool) -> None:
+        if self.audit is not None:
+            self.audit.alu_op(is_pth)
+
+    def mem(self, is_pth: bool, l2: bool) -> None:
+        if self.audit is not None:
+            self.audit.dmem_access(is_pth)
+            if l2:
+                self.audit.l2_access(is_pth)
+
+    def committed(self, n: int) -> None:
+        if self.audit is not None:
+            self.audit.commit(n)
+
+    def idle(self, n: int) -> None:
+        if self.audit is not None:
+            self.audit.idle_cycles(n)
+
+    # -- finalize ------------------------------------------------------ #
+
+    def event_count(self) -> int:
+        """Recorded lifecycle events (stage timestamps + markers)."""
+        stages = sum(
+            sum(1 for v in rec[_FETCH:] if v >= 0)
+            for rec in self.insts.values()
+        )
+        return (
+            stages
+            + len(self.replays)
+            + len(self.redirects)
+            + len(self.spawn_events)
+        )
+
+    def finalize(self, stats: Any) -> List[Dict[str, Any]]:
+        """Audit, export, and register this simulation's artifacts.
+
+        Called by the pipeline after the run completes.  Raises
+        :class:`~repro.errors.EnergyAuditError` on audit divergence and
+        :class:`~repro.errors.TraceExportError` on invalid exports --
+        both deliberately loud.
+        """
+        from repro.obs import export
+
+        audit_report = None
+        if self.audit is not None:
+            audit_report = self.audit.compare(
+                stats.activity,
+                tolerance=self.cfg.audit_tolerance,
+                raise_on_divergence=True,
+            )
+
+        out_dir = os.path.join(self.cfg.out_dir, UTRACE_DIR)
+        os.makedirs(out_dir, exist_ok=True)
+        stem = _sanitize(
+            self.label if not self.cell else f"{self.label}.{self.cell}"
+        )
+        window = [self.t0, min(self.t1, stats.cycles)]
+        artifacts: List[Dict[str, Any]] = []
+
+        def record(kind: str, path: str, **extra: Any) -> None:
+            artifacts.append(
+                {
+                    "kind": kind,
+                    "label": self.label,
+                    "path": path,
+                    "bytes": os.path.getsize(path),
+                    "window": window,
+                    **extra,
+                }
+            )
+
+        n_events = self.event_count()
+        if "chrome" in self.cfg.formats:
+            path = os.path.join(out_dir, f"{stem}.chrome.json")
+            export.write_chrome_trace(path, self, stats)
+            record("chrome_trace", path, events=n_events)
+        if "kanata" in self.cfg.formats:
+            path = os.path.join(out_dir, f"{stem}.kanata")
+            export.write_kanata(path, self, stats)
+            record("kanata_log", path, events=n_events)
+
+        summary_path = os.path.join(out_dir, f"{stem}.summary.json")
+        summary: Dict[str, Any] = {
+            "label": self.label,
+            "cell": self.cell,
+            "window": window,
+            "cycles": stats.cycles,
+            "committed": stats.committed,
+            "ipc": round(stats.ipc, 4),
+            "width": self.machine.width,
+            "insts_recorded": len(self.insts),
+            "insts_dropped": self.dropped_insts,
+            "events": n_events,
+            "replays": len(self.replays),
+            "redirects": len(self.redirects),
+            "spawns": len(self.spawn_events),
+            "stall_slots": stats.stalls.as_dict(),
+            "stall_fractions": {
+                k: round(v, 6) for k, v in stats.stalls.fractions().items()
+            },
+            "latency_breakdown": stats.breakdown.as_dict(),
+        }
+        if audit_report is not None:
+            summary["energy_audit"] = audit_report.as_dict()
+        with open(summary_path, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        record("utrace_summary", summary_path, events=n_events)
+
+        register_artifacts(artifacts)
+        return artifacts
+
+
+def collector_for(machine: Any) -> Optional[Collector]:
+    """The pipeline's single entry point: a new collector when tracing
+    is enabled, ``None`` (the no-op fast path) otherwise."""
+    if _CONFIG is None:
+        return None
+    return Collector(machine)

@@ -1,0 +1,32 @@
+"""Zero-division guards on the energy breakdown."""
+
+import pytest
+
+from repro.energy.breakdown import CATEGORIES, EnergyBreakdown
+
+
+def test_fractions_zero_run_is_all_zero():
+    fractions = EnergyBreakdown().fractions()
+    assert set(fractions) == set(CATEGORIES)
+    assert all(v == 0.0 for v in fractions.values())
+
+
+def test_fractions_sum_to_one_when_nonzero():
+    bd = EnergyBreakdown()
+    bd.add("imem_main", 3.0)
+    bd.add("idle", 1.0)
+    assert sum(bd.fractions().values()) == pytest.approx(1.0)
+    assert bd.fractions()["imem_main"] == pytest.approx(0.75)
+
+
+def test_relative_to_zero_baseline_is_all_zero():
+    bd = EnergyBreakdown()
+    bd.add("l2_main", 2.5)
+    assert all(v == 0.0 for v in bd.relative_to(0.0).values())
+    assert all(v == 0.0 for v in bd.relative_to(-1.0).values())
+
+
+def test_relative_to_scales_to_percent():
+    bd = EnergyBreakdown()
+    bd.add("l2_main", 2.5)
+    assert bd.relative_to(10.0)["l2_main"] == pytest.approx(25.0)

@@ -90,7 +90,7 @@ def test_run_log_level_emits_span_events(capsys):
     events = [json.loads(line) for line in err.splitlines() if line]
     names = {e.get("name") for e in events if e["event"] == "span_end"}
     assert {"select", "simulate", "experiment"} <= names
-    done = [e for e in events if e["event"] == "sim_done"]
+    done = [e for e in events if e["event"] == "sim.done"]
     assert done and done[-1]["cycles_per_sec"] > 0
 
 

@@ -1,0 +1,250 @@
+"""Tests for microarchitectural tracing (utrace) and its exporters."""
+
+import json
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.cpu.pipeline import simulate
+from repro.errors import ConfigError
+from repro.frontend import interpret
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.obs import utrace
+from repro.obs.export import (
+    build_chrome_trace,
+    build_kanata,
+    validate_chrome_file,
+    validate_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _utrace_off():
+    """Tracing is process-global; every test starts and ends disabled."""
+    utrace.disable()
+    utrace.drain_artifacts()
+    yield
+    utrace.disable()
+    utrace.drain_artifacts()
+
+
+def _alu_loop(n=200):
+    b = ProgramBuilder("alu")
+    b.set_reg(Reg.r2, n)
+    b.li(Reg.r1, 0)
+    b.label("top")
+    b.add(Reg.r3, Reg.r3, Reg.r4)
+    b.addi(Reg.r1, Reg.r1, 1)
+    b.blt(Reg.r1, Reg.r2, "top")
+    b.halt()
+    return interpret(b.build())
+
+
+def _missing_load_loop(n=50, stride=4096):
+    b = ProgramBuilder("miss")
+    b.data.alloc("big", (n + 1) * stride // 8)
+    base = b.data.base("big")
+    b.set_reg(Reg.r2, n)
+    b.set_reg(Reg.r5, stride)
+    b.li(Reg.r1, 0)
+    b.li(Reg.r6, base)
+    b.label("top")
+    b.load(Reg.r3, Reg.r6)
+    b.add(Reg.r6, Reg.r6, Reg.r5)
+    b.addi(Reg.r1, Reg.r1, 1)
+    b.blt(Reg.r1, Reg.r2, "top")
+    b.halt()
+    return interpret(b.build())
+
+
+# --------------------------------------------------------------------- #
+# Configuration plumbing.
+# --------------------------------------------------------------------- #
+
+
+class TestConfig:
+    def test_off_by_default(self):
+        assert not utrace.enabled()
+        assert utrace.collector_for(MachineConfig()) is None
+
+    def test_parse_window(self):
+        assert utrace.parse_window("100:200") == (100, 200)
+        assert utrace.parse_window(":200") == (0, 200)
+        assert utrace.parse_window("100:") == (100, utrace.WINDOW_END_MAX)
+        assert utrace.parse_window(":") == (0, utrace.WINDOW_END_MAX)
+
+    @pytest.mark.parametrize("bad", ["abc", "1-2", "2:1", "1:2:3", ""])
+    def test_parse_window_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            utrace.parse_window(bad)
+
+    def test_configure_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ConfigError):
+            utrace.configure(str(tmp_path), formats=("svg",))
+
+    def test_encode_roundtrip(self, tmp_path):
+        utrace.configure(
+            str(tmp_path), window=(5, 99), formats=("chrome",),
+            energy_audit=False, max_insts=7,
+        )
+        payload = utrace.encode()
+        utrace.disable()
+        utrace.apply_encoded(payload)
+        cfg = utrace.config()
+        assert cfg.window == (5, 99)
+        assert cfg.formats == ("chrome",)
+        assert cfg.energy_audit is False
+        assert cfg.max_insts == 7
+
+    def test_apply_encoded_none_disables(self, tmp_path):
+        utrace.configure(str(tmp_path))
+        utrace.apply_encoded(None)
+        assert not utrace.enabled()
+
+    def test_scope_nests_and_restores(self):
+        assert utrace.current_label() is None
+        with utrace.scope(label="outer", cell="c1"):
+            assert utrace.current_label() == "outer"
+            with utrace.scope(label="inner"):
+                assert utrace.current_label() == "inner"
+                assert utrace.current_cell() == "c1"
+            assert utrace.current_label() == "outer"
+        assert utrace.current_label() is None
+        assert utrace.current_cell() is None
+
+
+# --------------------------------------------------------------------- #
+# A traced simulation end to end.
+# --------------------------------------------------------------------- #
+
+
+class TestTracedSimulation:
+    def test_exports_validate_and_register(self, tmp_path):
+        utrace.configure(str(tmp_path))
+        with utrace.scope(label="alu.unit"):
+            stats = simulate(_alu_loop())
+        artifacts = utrace.drain_artifacts()
+        kinds = sorted(a["kind"] for a in artifacts)
+        assert kinds == ["chrome_trace", "kanata_log", "utrace_summary"]
+        by_kind = {a["kind"]: a for a in artifacts}
+
+        chrome = by_kind["chrome_trace"]["path"]
+        validate_chrome_file(chrome)  # raises on schema violation
+        doc = json.load(open(chrome))
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"b", "e", "M"} <= phases
+        assert doc["otherData"]["cycles"] == stats.cycles
+
+        kanata = open(by_kind["kanata_log"]["path"]).read()
+        assert kanata.startswith("Kanata\t0004\n")
+        assert "\tR\t" not in kanata.split("\n")[0]
+        # every recorded instruction retires in this simple loop
+        assert kanata.count("\nI\t") == stats.committed
+
+        summary = json.load(open(by_kind["utrace_summary"]["path"]))
+        assert summary["label"] == "alu.unit"
+        assert summary["insts_recorded"] == stats.committed
+        assert summary["energy_audit"]["ok"] is True
+        assert sum(summary["stall_slots"].values()) == (
+            summary["width"] * summary["cycles"]
+        )
+
+    def test_artifact_records_match_disk(self, tmp_path):
+        import os
+
+        utrace.configure(str(tmp_path))
+        simulate(_alu_loop())
+        for art in utrace.drain_artifacts():
+            assert os.path.getsize(art["path"]) == art["bytes"]
+
+    def test_window_restricts_recording(self, tmp_path):
+        utrace.configure(str(tmp_path), window=(0, 5))
+        stats = simulate(_missing_load_loop())
+        (summary,) = [
+            a for a in utrace.drain_artifacts()
+            if a["kind"] == "utrace_summary"
+        ]
+        data = json.load(open(summary["path"]))
+        assert 0 < data["insts_recorded"] < stats.committed
+        assert data["window"] == [0, 5]
+
+    def test_max_insts_caps_volume(self, tmp_path):
+        utrace.configure(str(tmp_path), max_insts=10)
+        stats = simulate(_alu_loop())
+        (summary,) = [
+            a for a in utrace.drain_artifacts()
+            if a["kind"] == "utrace_summary"
+        ]
+        data = json.load(open(summary["path"]))
+        assert data["insts_recorded"] == 10
+        assert data["insts_dropped"] == stats.committed - 10
+
+    def test_untraced_stats_unchanged(self, tmp_path):
+        """Tracing must observe, never perturb, the timing simulation."""
+        baseline = simulate(_missing_load_loop())
+        utrace.configure(str(tmp_path))
+        traced = simulate(_missing_load_loop())
+        utrace.drain_artifacts()
+        assert traced.cycles == baseline.cycles
+        assert traced.committed == baseline.committed
+        assert traced.stalls.as_dict() == baseline.stalls.as_dict()
+        assert traced.breakdown.as_dict() == baseline.breakdown.as_dict()
+
+    def test_audit_disabled_omits_energy(self, tmp_path):
+        utrace.configure(str(tmp_path), energy_audit=False)
+        simulate(_alu_loop())
+        (summary,) = [
+            a for a in utrace.drain_artifacts()
+            if a["kind"] == "utrace_summary"
+        ]
+        assert "energy_audit" not in json.load(open(summary["path"]))
+
+
+# --------------------------------------------------------------------- #
+# Exporter validation.
+# --------------------------------------------------------------------- #
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_events(self):
+        assert validate_chrome_trace({}) != []
+
+    def test_rejects_unbalanced_async(self):
+        doc = {"traceEvents": [
+            {"ph": "b", "name": "x", "cat": "c", "id": "1",
+             "ts": 0, "pid": 1, "tid": 0},
+        ]}
+        assert any("unbalanced" in e for e in validate_chrome_trace(doc))
+
+    def test_rejects_end_before_begin(self):
+        doc = {"traceEvents": [
+            {"ph": "e", "name": "x", "cat": "c", "id": "1",
+             "ts": 0, "pid": 1, "tid": 0},
+        ]}
+        assert any("without begin" in e for e in validate_chrome_trace(doc))
+
+    def test_rejects_non_numeric_ts(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "name": "x", "ts": "soon", "pid": 1, "tid": 0},
+        ]}
+        assert any("numeric" in e for e in validate_chrome_trace(doc))
+
+    def test_build_functions_are_pure(self, tmp_path):
+        utrace.configure(str(tmp_path), window=(0, 50))
+        stats = simulate(_missing_load_loop())
+        utrace.drain_artifacts()
+        utrace.configure(str(tmp_path))
+        collector = utrace.Collector(MachineConfig(), label="pure")
+        collector.fetch_main(0, 1, 0x40)
+        collector.dispatch(1, 1, False)
+        collector.issue(2, 1, 3)
+        collector.retire(4, 1)
+        doc = build_chrome_trace(collector, stats)
+        assert validate_chrome_trace(doc) == []
+        text = build_kanata(collector, stats)
+        assert text.startswith("Kanata\t0004")
+        assert "R\t0\t0\t0" in text

@@ -143,3 +143,70 @@ def test_fault_plan_does_not_leak_between_invocations(tmp_path, capsys):
           "--inject-fault", "manifest.write:1.0"])
     capsys.readouterr()
     assert not faults.site_active("manifest.write")
+
+
+# --------------------------------------------------------------------- #
+# Microarchitectural tracing (repro trace / --trace-window) and the
+# HTML run report (repro report).
+# --------------------------------------------------------------------- #
+
+
+def test_trace_window_without_out_exits_2(capsys):
+    assert main(["run", "gap", "--trace-window", "0:1000"]) == 2
+    assert "--trace-window requires --out" in capsys.readouterr().err
+
+
+def test_trace_bad_window_exits_2(tmp_path, capsys):
+    out = str(tmp_path / "t")
+    assert main(["trace", "gap", "--out", out,
+                 "--trace-window", "9:5"]) == 2
+    assert "bad trace window" in capsys.readouterr().err
+
+
+def test_trace_then_report_end_to_end(tmp_path, capsys):
+    import json
+    import os
+
+    from repro.obs import utrace
+    from repro.obs.export import validate_chrome_file
+
+    out = str(tmp_path / "t")
+    assert main(["trace", "gap", "--out", out,
+                 "--trace-window", "0:3000"]) == 0
+    captured = capsys.readouterr()
+    assert "speedup_pct" in captured.out
+    assert "chrome_trace" in captured.err
+
+    manifest = json.load(open(os.path.join(out, "manifest.json")))
+    section = manifest["utrace"]
+    assert section["n_files"] == 6  # baseline + optimized, 3 files each
+    assert section["config"]["window"] == [0, 3000]
+    kinds = {f["kind"] for f in section["files"]}
+    assert kinds == {"chrome_trace", "kanata_log", "utrace_summary"}
+    for record in section["files"]:
+        assert os.path.getsize(record["path"]) == record["bytes"]
+        if record["kind"] == "chrome_trace":
+            validate_chrome_file(record["path"])
+        elif record["kind"] == "utrace_summary":
+            summary = json.load(open(record["path"]))
+            assert summary["energy_audit"]["ok"] is True
+
+    # tracing configuration must not leak out of main()
+    assert not utrace.enabled()
+
+    assert main(["report", out]) == 0
+    report_path = capsys.readouterr().out.strip()
+    assert report_path == os.path.join(out, "report.html")
+    doc = open(report_path).read()
+    assert "Top-down stall attribution" in doc
+    assert "audit ok" in doc
+
+
+def test_report_missing_dir_exits_2(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope")]) == 2
+    assert "no run artifacts" in capsys.readouterr().err
+
+
+def test_report_requires_some_dir(capsys):
+    assert main(["report"]) == 2
+    assert "run directory" in capsys.readouterr().err
