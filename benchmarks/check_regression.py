@@ -28,40 +28,53 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 
 def _simulator_by_benchmark(payload: Dict) -> Dict[str, Dict]:
     return {row["benchmark"]: row for row in payload.get("simulator", [])}
 
 
-def compare(baseline: Dict, current: Dict, tolerance: float) -> List[str]:
-    """Return a list of human-readable failure messages (empty = pass)."""
-    failures: List[str] = []
+def compare_named(
+    baseline: Dict, current: Dict, tolerance: float
+) -> List[Tuple[str, str]]:
+    """Return ``(metric_name, message)`` failures (empty = pass).
+
+    The metric name is machine-readable (``simulator[gcc].cycles``,
+    ``figure_grid.cold_wall_s``) so the CI log -- and the analytics
+    regression timeline, which generalizes this check -- can pinpoint
+    exactly what moved, not just that something did.
+    """
+    failures: List[Tuple[str, str]] = []
     base_sim = _simulator_by_benchmark(baseline)
     cur_sim = _simulator_by_benchmark(current)
 
     for name, base_row in base_sim.items():
         cur_row = cur_sim.get(name)
         if cur_row is None:
-            failures.append(f"simulator[{name}]: missing from current run")
+            failures.append((
+                f"simulator[{name}]",
+                f"simulator[{name}]: missing from current run",
+            ))
             continue
         for exact in ("cycles", "committed"):
             if cur_row.get(exact) != base_row.get(exact):
-                failures.append(
+                failures.append((
+                    f"simulator[{name}].{exact}",
                     f"simulator[{name}].{exact}: determinism break -- "
                     f"baseline {base_row.get(exact)} vs "
-                    f"current {cur_row.get(exact)}"
-                )
+                    f"current {cur_row.get(exact)}",
+                ))
         base_tp = float(base_row.get("cycles_per_sec", 0) or 0)
         cur_tp = float(cur_row.get("cycles_per_sec", 0) or 0)
         floor = base_tp * (1.0 - tolerance)
         if base_tp and cur_tp < floor:
-            failures.append(
+            failures.append((
+                f"simulator[{name}].cycles_per_sec",
                 f"simulator[{name}].cycles_per_sec: {cur_tp:,.0f} < "
                 f"floor {floor:,.0f} (baseline {base_tp:,.0f}, "
-                f"tolerance {tolerance:.0%})"
-            )
+                f"tolerance {tolerance:.0%})",
+            ))
 
     base_grid = baseline.get("figure_grid", {})
     cur_grid = current.get("figure_grid", {})
@@ -76,17 +89,24 @@ def compare(baseline: Dict, current: Dict, tolerance: float) -> List[str]:
             continue
         ceiling = float(base_wall) * (1.0 + tolerance)
         if float(cur_wall) > ceiling:
-            failures.append(
+            failures.append((
+                f"figure_grid.{metric}",
                 f"figure_grid.{metric}: {cur_wall}s > ceiling "
                 f"{ceiling:.2f}s (baseline {base_wall}s, "
-                f"tolerance {tolerance:.0%})"
-            )
+                f"tolerance {tolerance:.0%})",
+            ))
     if base_grid.get("rows") != cur_grid.get("rows"):
-        failures.append(
+        failures.append((
+            "figure_grid.rows",
             f"figure_grid.rows: baseline {base_grid.get('rows')} vs "
-            f"current {cur_grid.get('rows')}"
-        )
+            f"current {cur_grid.get('rows')}",
+        ))
     return failures
+
+
+def compare(baseline: Dict, current: Dict, tolerance: float) -> List[str]:
+    """Back-compat wrapper: human-readable messages only."""
+    return [msg for _, msg in compare_named(baseline, current, tolerance)]
 
 
 def main(argv=None) -> int:
@@ -106,7 +126,7 @@ def main(argv=None) -> int:
     with open(args.current) as fh:
         current = json.load(fh)
 
-    failures = compare(baseline, current, args.tolerance)
+    failures = compare_named(baseline, current, args.tolerance)
     base_sim = _simulator_by_benchmark(baseline)
     cur_sim = _simulator_by_benchmark(current)
     print(f"bench regression check (tolerance {args.tolerance:.0%})")
@@ -126,8 +146,12 @@ def main(argv=None) -> int:
 
     if failures:
         print("\nREGRESSIONS:")
-        for failure in failures:
-            print(f"  - {failure}")
+        for _, message in failures:
+            print(f"  - {message}")
+        # Name the first regressing metric on its own greppable line so
+        # the CI log (and anything parsing it) pinpoints what moved.
+        print(f"\nfirst regressing metric: {failures[0][0]}")
+        print(f"FIRST_REGRESSING_METRIC={failures[0][0]}")
         return 1
     print("\nOK: no regression beyond tolerance")
     return 0

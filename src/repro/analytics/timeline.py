@@ -1,0 +1,555 @@
+"""Regression timeline: per-run/per-commit trajectory tracking.
+
+``benchmarks/check_regression.py`` compares one fresh run against one
+committed baseline.  This module generalizes that check to the whole
+ingested history: every metric becomes a *series* over the store's
+ingest sequence, each point attributed to its run id and (when the
+manifest recorded one) git commit, and the baseline's tolerance becomes
+a *band* drawn along the series.  The first point that leaves the band
+is the first regressing run -- the answer to "which commit moved it?".
+
+Three metric disciplines, matching the single-baseline checker:
+
+- ``exact``  -- determinism metrics (bench ``cycles``/``committed``):
+  every point must equal the baseline bit-for-bit;
+- ``floor``  -- bigger is better (throughput, gmean savings): points
+  may not drop below ``baseline * (1 - tolerance)`` (absolute band for
+  percent metrics);
+- ``ceiling`` -- smaller is better (grid walls): points may not grow
+  past ``baseline * (1 + tolerance)``.
+
+Without an explicit baseline payload, each series is checked against
+its own first point (self-referential drift tracking).
+
+Rendering is dependency-free inline SVG -- line charts with shaded
+tolerance bands and red first-regression markers, plus a stacked
+phase-wall chart -- packaged as an HTML fragment for the ``repro
+report`` Timeline section and as a standalone page for ``repro
+analytics timeline``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analytics.query import (
+    aggregate,
+    bench_series,
+    gmean_trend,
+    phase_walls,
+)
+from repro.analytics.store import RunStore
+
+#: Palette for multi-series charts (cycled).
+SERIES_COLORS = (
+    "#1e88e5", "#43a047", "#fb8c00", "#8e24aa", "#00897b",
+    "#e53935", "#6d4c41", "#3949ab",
+)
+BAND_FILL = "#c8e6c9"
+BAD_COLOR = "#c62828"
+
+#: Phase colors for the stacked wall chart.
+PHASE_COLORS = {
+    "t_trace": "#1e88e5",
+    "t_analysis": "#43a047",
+    "t_sim": "#fb8c00",
+}
+
+
+@dataclass
+class Series:
+    """One metric's trajectory over the ingest sequence."""
+
+    name: str
+    points: List[Tuple[int, float]]  # (run_seq, value), seq-ordered
+    discipline: str = "floor"  # exact | floor | ceiling
+    baseline: Optional[float] = None
+    bound: Optional[float] = None
+    first_bad_seq: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.first_bad_seq is None
+
+    def check(self, tolerance: float) -> None:
+        """Set ``bound``/``first_bad_seq`` from the discipline."""
+        if not self.points:
+            return
+        base = self.baseline
+        if base is None:
+            base = self.points[0][1]
+            self.baseline = base
+        if math.isnan(base):
+            return
+        if self.discipline == "exact":
+            self.bound = base
+            for seq, value in self.points:
+                if value != base:
+                    self.first_bad_seq = seq
+                    return
+            return
+        span = abs(base) * tolerance
+        if self.discipline == "ceiling":
+            self.bound = base + span
+            for seq, value in self.points:
+                if not math.isnan(value) and value > self.bound:
+                    self.first_bad_seq = seq
+                    return
+        else:
+            self.bound = base - span
+            for seq, value in self.points:
+                if not math.isnan(value) and value < self.bound:
+                    self.first_bad_seq = seq
+                    return
+
+
+@dataclass
+class TimelineReport:
+    """Everything the renderers and the CI gate need."""
+
+    series: List[Series] = field(default_factory=list)
+    phase_series: Dict[str, List[Tuple[int, float]]] = field(
+        default_factory=dict
+    )
+    run_labels: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    tolerance: float = 0.5
+    baseline_source: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.series)
+
+    @property
+    def first_regression(self) -> Optional[Dict[str, Any]]:
+        """The earliest out-of-band point across every series."""
+        bad = [
+            (s.first_bad_seq, s) for s in self.series if not s.ok
+        ]
+        if not bad:
+            return None
+        seq, series = min(bad, key=lambda item: item[0])
+        value = next(v for q, v in series.points if q == seq)
+        label = self.run_labels.get(seq, {})
+        return {
+            "metric": series.name,
+            "run_seq": seq,
+            "run_id": label.get("run_id", ""),
+            "commit": label.get("commit", ""),
+            "value": value,
+            "bound": series.bound,
+            "baseline": series.baseline,
+            "discipline": series.discipline,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "baseline_source": self.baseline_source,
+            "first_regression": self.first_regression,
+            "series": [
+                {
+                    "name": s.name,
+                    "discipline": s.discipline,
+                    "baseline": s.baseline,
+                    "bound": s.bound,
+                    "ok": s.ok,
+                    "first_bad_seq": s.first_bad_seq,
+                    "points": [
+                        {
+                            "run_seq": seq,
+                            "value": value,
+                            **self.run_labels.get(seq, {}),
+                        }
+                        for seq, value in s.points
+                    ],
+                }
+                for s in self.series
+            ],
+        }
+
+
+def _series_points(rows: Sequence[Mapping[str, Any]],
+                   key: str) -> Dict[Any, List[Tuple[int, float]]]:
+    """Split aggregate rows into {group_value: [(seq, value), ...]}."""
+    out: Dict[Any, List[Tuple[int, float]]] = {}
+    for row in rows:
+        out.setdefault(row.get(key), []).append(
+            (int(row["run_seq"]), float(row["value"]))
+        )
+    for points in out.values():
+        points.sort()
+    return out
+
+
+def build_timeline(
+    store: RunStore,
+    baseline: Optional[Mapping[str, Any]] = None,
+    tolerance: float = 0.5,
+    gmean_metrics: Sequence[str] = ("ed2_save_pct",),
+) -> TimelineReport:
+    """Assemble and check every tracked series from the store.
+
+    ``baseline`` is a ``repro bench`` payload (the committed
+    ``bench_baseline_quick.json``); without it each series self-bases
+    on its first point.
+    """
+    report = TimelineReport(tolerance=tolerance)
+    report.run_labels = _run_labels(store)
+    base_sim: Dict[str, Mapping[str, Any]] = {}
+    base_grid: Mapping[str, Any] = {}
+    if baseline:
+        base_sim = {
+            row["benchmark"]: row
+            for row in baseline.get("simulator", [])
+            if isinstance(row, dict) and "benchmark" in row
+        }
+        base_grid = baseline.get("figure_grid") or {}
+
+    # GMean savings per objective: the reproduction's headline numbers.
+    for metric in gmean_metrics:
+        trend = gmean_trend(store, metric=metric)
+        for target, points in sorted(
+            _series_points(trend.rows, "target").items()
+        ):
+            series = Series(
+                name=f"gmean_{metric}[{target}]",
+                points=points,
+                discipline="floor",
+            )
+            # Percent metrics band absolutely: a 100*tol-point band
+            # around a near-zero gmean would otherwise be vacuous.
+            series.check(tolerance)
+            report.series.append(series)
+
+    # Bench determinism (exact) + throughput (floor) per benchmark.
+    for metric, discipline in (
+        ("cycles", "exact"),
+        ("committed", "exact"),
+        ("cycles_per_sec", "floor"),
+    ):
+        result = bench_series(store, metric=metric)
+        for bench, points in sorted(
+            _series_points(result.rows, "benchmark").items()
+        ):
+            base_row = base_sim.get(bench) or {}
+            base_value = base_row.get(metric)
+            series = Series(
+                name=f"bench_{metric}[{bench}]",
+                points=points,
+                discipline=discipline,
+                baseline=(
+                    float(base_value) if base_value is not None else None
+                ),
+            )
+            series.check(tolerance)
+            report.series.append(series)
+
+    # Grid walls (ceiling) from bench_grid rows.  Walls are only
+    # comparable within one grid shape: a 2-row quick grid and a
+    # 27-row full grid measure different work, so each row count gets
+    # its own series, and the baseline only bands the shape it
+    # actually measured.
+    base_rows = base_grid.get("rows")
+    for metric in ("sequential_uncached_wall_s", "cold_wall_s",
+                   "warm_wall_s"):
+        result = aggregate(
+            store, metric, group_by=("run_seq", "rows"), agg="mean",
+            kind="bench_grid",
+        )
+        for shape, points in sorted(
+            _series_points(result.rows, "rows").items()
+        ):
+            points = [p for p in points if not math.isnan(p[1])]
+            if not points:
+                continue
+            base_value = None
+            if base_rows is not None and shape == float(base_rows):
+                base_value = base_grid.get(metric)
+            series = Series(
+                name=f"grid_{metric}[rows={int(shape)}]",
+                points=points,
+                discipline="ceiling",
+                baseline=(
+                    float(base_value) if base_value is not None
+                    else None
+                ),
+            )
+            # Sub-second walls are noise-dominated (same rule as the
+            # single-baseline checker): track them, don't band them.
+            effective = (
+                series.baseline if series.baseline is not None
+                else points[0][1]
+            )
+            if effective >= 1.0:
+                series.check(tolerance)
+            report.series.append(series)
+
+    # Phase walls: rendered as a stacked chart, not band-checked (the
+    # per-metric wall series above carry the gate).
+    for phase, result in phase_walls(store).items():
+        points = [
+            (int(row["run_seq"]), float(row["value"]))
+            for row in result.rows
+            if not math.isnan(float(row["value"]))
+        ]
+        if points:
+            report.phase_series[phase] = sorted(points)
+    return report
+
+
+def _run_labels(store: RunStore) -> Dict[int, Dict[str, str]]:
+    index = store._load_index()
+    return {
+        int(rec["seq"]): {
+            "run_id": str(rec.get("run_id", "")),
+            "commit": str(rec.get("commit", ""))[:12],
+        }
+        for rec in index.get("ingests", [])
+    }
+
+
+# --------------------------------------------------------------------- #
+# SVG rendering (no JS, no external assets).
+# --------------------------------------------------------------------- #
+
+_W, _H = 640, 120
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 60, 10, 8, 18
+
+
+def _scale(points: Sequence[Tuple[int, float]],
+           extra: Sequence[float] = ()):
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points if not math.isnan(p[1])]
+    ys = list(ys) + [y for y in extra if y is not None
+                     and not math.isnan(y)]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = (min(ys), max(ys)) if ys else (0.0, 1.0)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + (abs(y_lo) or 1.0) * 0.1
+        y_lo = y_lo - (abs(y_lo) or 1.0) * 0.1
+    span_x = _W - _PAD_L - _PAD_R
+    span_y = _H - _PAD_T - _PAD_B
+
+    def to_xy(seq: int, value: float) -> Tuple[float, float]:
+        x = _PAD_L + span_x * (seq - x_lo) / (x_hi - x_lo)
+        y = _PAD_T + span_y * (1.0 - (value - y_lo) / (y_hi - y_lo))
+        return x, y
+
+    return to_xy, (x_lo, x_hi, y_lo, y_hi)
+
+
+def _fmt_val(value: float) -> str:
+    if value != value:  # NaN
+        return "?"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def render_series_svg(series: Series,
+                      labels: Mapping[int, Mapping[str, str]]) -> str:
+    """One series as an inline SVG line chart with its tolerance band."""
+    points = [p for p in series.points if not math.isnan(p[1])]
+    if not points:
+        return "<p class='muted'>(no points)</p>"
+    to_xy, (_, _, y_lo, y_hi) = _scale(
+        points, extra=[series.baseline, series.bound]
+    )
+    parts: List[str] = [
+        f"<svg viewBox='0 0 {_W} {_H}' width='{_W}' height='{_H}' "
+        f"role='img' aria-label='{html.escape(series.name)}'>"
+    ]
+    # Tolerance band: the allowed half-plane, shaded from the bound.
+    if series.bound is not None and not math.isnan(series.bound):
+        _, by = to_xy(points[0][0], series.bound)
+        if series.discipline == "ceiling":
+            top, bottom = to_xy(points[0][0], y_hi)[1], by
+        else:
+            top, bottom = by, to_xy(points[0][0], y_lo)[1]
+        top, bottom = min(top, bottom), max(top, bottom)
+        parts.append(
+            f"<rect x='{_PAD_L}' y='{top:.1f}' "
+            f"width='{_W - _PAD_L - _PAD_R}' "
+            f"height='{max(bottom - top, 1):.1f}' fill='{BAND_FILL}' "
+            f"opacity='0.45'/>"
+        )
+    if series.baseline is not None and not math.isnan(series.baseline):
+        _, by = to_xy(points[0][0], series.baseline)
+        parts.append(
+            f"<line x1='{_PAD_L}' y1='{by:.1f}' x2='{_W - _PAD_R}' "
+            f"y2='{by:.1f}' stroke='#888' stroke-dasharray='4 3'/>"
+        )
+    coords = [to_xy(seq, value) for seq, value in points]
+    path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    parts.append(
+        f"<polyline points='{path}' fill='none' "
+        f"stroke='{SERIES_COLORS[0]}' stroke-width='1.5'/>"
+    )
+    for (seq, value), (x, y) in zip(points, coords):
+        bad = series.first_bad_seq is not None and (
+            (series.discipline == "exact"
+             and value != series.baseline)
+            or (series.discipline == "ceiling"
+                and series.bound is not None and value > series.bound)
+            or (series.discipline == "floor"
+                and series.bound is not None and value < series.bound)
+        )
+        color = BAD_COLOR if bad else SERIES_COLORS[0]
+        label = labels.get(seq, {})
+        tip = (
+            f"{series.name} @ run {seq} "
+            f"({label.get('run_id', '')} {label.get('commit', '')}): "
+            f"{_fmt_val(value)}"
+        )
+        parts.append(
+            f"<circle cx='{x:.1f}' cy='{y:.1f}' r='3' fill='{color}'>"
+            f"<title>{html.escape(tip)}</title></circle>"
+        )
+    # Y extent labels.
+    parts.append(
+        f"<text x='2' y='{_PAD_T + 8}' font-size='9' fill='#666'>"
+        f"{_fmt_val(y_hi)}</text>"
+        f"<text x='2' y='{_H - _PAD_B}' font-size='9' fill='#666'>"
+        f"{_fmt_val(y_lo)}</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_phase_stack_svg(
+    phase_series: Mapping[str, Sequence[Tuple[int, float]]],
+) -> str:
+    """Stacked per-run phase walls (trace/analysis/sim) as SVG bars."""
+    seqs = sorted({
+        seq for points in phase_series.values() for seq, _ in points
+    })
+    if not seqs:
+        return "<p class='muted'>(no phase timings ingested)</p>"
+    by_phase = {
+        phase: dict(points) for phase, points in phase_series.items()
+    }
+    totals = {
+        seq: sum(by_phase[p].get(seq, 0.0) for p in by_phase)
+        for seq in seqs
+    }
+    peak = max(totals.values()) or 1.0
+    span_x = _W - _PAD_L - _PAD_R
+    span_y = _H - _PAD_T - _PAD_B
+    bar_w = max(min(span_x / max(len(seqs), 1) * 0.7, 40.0), 3.0)
+    parts = [
+        f"<svg viewBox='0 0 {_W} {_H}' width='{_W}' height='{_H}' "
+        f"role='img' aria-label='phase walls per run'>"
+    ]
+    for i, seq in enumerate(seqs):
+        x = _PAD_L + span_x * (i + 0.5) / len(seqs) - bar_w / 2
+        y = float(_H - _PAD_B)
+        for phase in sorted(by_phase):
+            value = by_phase[phase].get(seq, 0.0)
+            if value <= 0:
+                continue
+            h = span_y * value / peak
+            y -= h
+            color = PHASE_COLORS.get(
+                phase,
+                SERIES_COLORS[hash(phase) % len(SERIES_COLORS)],
+            )
+            parts.append(
+                f"<rect x='{x:.1f}' y='{y:.1f}' width='{bar_w:.1f}' "
+                f"height='{h:.1f}' fill='{color}'>"
+                f"<title>run {seq} {html.escape(phase[2:])}: "
+                f"{value:.2f}s</title></rect>"
+            )
+        parts.append(
+            f"<text x='{x + bar_w / 2:.1f}' y='{_H - 4}' "
+            f"font-size='8' fill='#666' text-anchor='middle'>"
+            f"{seq}</text>"
+        )
+    parts.append(
+        f"<text x='2' y='{_PAD_T + 8}' font-size='9' fill='#666'>"
+        f"{peak:.1f}s</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def timeline_section_html(report: TimelineReport) -> str:
+    """The Timeline section fragment for ``report.html``."""
+    if not report.series and not report.phase_series:
+        return (
+            "<p class='muted'>analytics store is empty -- ingest runs "
+            "with <code>repro analytics ingest</code></p>"
+        )
+    parts: List[str] = []
+    first = report.first_regression
+    if first:
+        parts.append(
+            "<p><span class='bad'>first regression</span>: "
+            f"<code>{html.escape(first['metric'])}</code> at run "
+            f"{first['run_seq']} "
+            f"({html.escape(first['run_id'])}"
+            + (f", commit {html.escape(first['commit'])}"
+               if first["commit"] else "")
+            + f") -- {_fmt_val(first['value'])} vs bound "
+            f"{_fmt_val(first['bound'] or math.nan)}</p>"
+        )
+    else:
+        parts.append(
+            "<p><span class='ok'>trajectory ok</span> -- every series "
+            f"within its tolerance band (&plusmn;{report.tolerance:.0%} "
+            "where banded, exact where deterministic)</p>"
+        )
+    for series in report.series:
+        status = (
+            "<span class='ok'>ok</span>" if series.ok
+            else "<span class='bad'>regressed</span>"
+        )
+        parts.append(
+            f"<div class='barrow'><span class='barlabel'>"
+            f"{html.escape(series.name)} "
+            f"[{series.discipline}] {status}</span>"
+            + render_series_svg(series, report.run_labels)
+            + "</div>"
+        )
+    if report.phase_series:
+        parts.append(
+            "<h3>Phase walls per run</h3>"
+            + render_phase_stack_svg(report.phase_series)
+        )
+    return "".join(parts)
+
+
+def render_timeline_html(report: TimelineReport,
+                         title: str = "repro regression timeline") -> str:
+    """A standalone no-JS timeline page (``repro analytics timeline``)."""
+    css = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 72em; padding: 0 1em; color: #222; }
+h1 { border-bottom: 2px solid #1e88e5; padding-bottom: .3em; }
+.barrow { margin: .9em 0; }
+.barlabel { display: block; font-size: 12px; color: #444;
+            margin-bottom: .15em; font-family: monospace; }
+.muted { color: #888; }
+.ok { color: #2e7d32; font-weight: 600; }
+.bad { color: #c62828; font-weight: 700; }
+code { background: #f5f5f5; padding: .1em .3em; border-radius: 3px; }
+"""
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{css}</style>"
+        f"</head><body><h1>{html.escape(title)}</h1>"
+        + timeline_section_html(report)
+        + "</body></html>\n"
+    )
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Read a ``repro bench`` payload to band the timeline against."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -15,7 +15,15 @@ Commands mirror the paper's evaluation:
   tracing: Chrome/Perfetto + Kanata exports, top-down stall
   attribution, and a per-event energy audit land in ``--out``
 - ``report [DIR]``       render a self-contained HTML report from a run
-  directory's manifest/results/utrace artifacts
+  directory's manifest/results/utrace artifacts (plus the cross-run
+  Timeline section when an analytics store is populated)
+- ``analytics ingest|query|timeline|stats``  the fleet-scale result
+  analytics layer: ingest run directories / BENCH snapshots into the
+  columnar run store, aggregate cross-run trends (gmean per objective,
+  stall-mix drift, phase walls), and check/render the per-commit
+  regression timeline.  Runs with ``--out`` auto-ingest on completion
+  unless ``REPRO_ANALYTICS=0``; ``--store DIR`` (or
+  ``REPRO_ANALYTICS_DIR``) picks the store location
 
 Every evaluation command accepts the global observability flags:
 
@@ -62,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import time
@@ -177,6 +186,14 @@ def _parser() -> argparse.ArgumentParser:
         "this cycle range (either side may be empty); traces land in "
         "DIR/utrace/ and are indexed in manifest.json",
     )
+    obs_flags.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="analytics run store directory (default: "
+        "REPRO_ANALYTICS_DIR or ~/.cache/repro-analytics); runs with "
+        "--out auto-ingest into it unless REPRO_ANALYTICS=0",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -263,6 +280,64 @@ def _parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None, metavar="PATH",
                         help="HTML output path (default: DIR/report.html)")
 
+    # No parents=[obs_flags] on the group parser itself: nested
+    # subparser defaults would clobber values parsed at this level
+    # (argparse re-applies defaults), so the flags live on the actions.
+    analytics = sub.add_parser(
+        "analytics",
+        help="fleet-scale result analytics: ingest runs into the "
+        "columnar store, query cross-run trends, render the "
+        "regression timeline",
+    )
+    asub = analytics.add_subparsers(dest="action", required=True)
+    a_ingest = asub.add_parser(
+        "ingest", parents=[obs_flags],
+        help="ingest run directories and/or BENCH_*.json snapshots",
+    )
+    a_ingest.add_argument("paths", nargs="+", metavar="PATH",
+                          help="run directory (--out style) or "
+                          "BENCH_*.json throughput snapshot")
+    a_ingest.add_argument("--force", action="store_true",
+                          help="re-ingest runs whose run_id is already "
+                          "in the store")
+    a_query = asub.add_parser(
+        "query", parents=[obs_flags],
+        help="group-by aggregation over the store",
+    )
+    a_query.add_argument("--metric", default="ed2_save_pct",
+                         help="numeric column to aggregate "
+                         "(default ed2_save_pct)")
+    a_query.add_argument("--group-by", default="run_seq,target",
+                         metavar="COL[,COL...]",
+                         help="group columns (default run_seq,target)")
+    a_query.add_argument("--agg", default="gmean",
+                         choices=("gmean", "mean", "sum", "count",
+                                  "min", "max"))
+    a_query.add_argument("--kind", default="result",
+                         help="row family: result|run|trace|bench|"
+                         "bench_grid (default result)")
+    a_query.add_argument("--where", action="append", default=None,
+                         metavar="COL=VALUE",
+                         help="exact-match filter (repeatable)")
+    a_timeline = asub.add_parser(
+        "timeline", parents=[obs_flags],
+        help="trajectory check + SVG timeline over the whole store",
+    )
+    a_timeline.add_argument("--baseline", default=None, metavar="PATH",
+                            help="bench payload to band against "
+                            "(e.g. benchmarks/bench_baseline_quick."
+                            "json); default: each series' first point")
+    a_timeline.add_argument("--tolerance", type=float, default=0.5,
+                            help="fractional tolerance band "
+                            "(default 0.5)")
+    a_timeline.add_argument("--html", default=None, metavar="PATH",
+                            help="also write a standalone timeline "
+                            "page to PATH")
+    asub.add_parser(
+        "stats", parents=[obs_flags],
+        help="store occupancy (segments, rows, bytes, backend)",
+    )
+
     chaos = sub.add_parser(
         "chaos", parents=[obs_flags],
         help="prove fault recovery: run a grid fault-free and under "
@@ -343,6 +418,39 @@ def _write_artifacts(
         return
     print(f"wrote {len(rows)} rows to {args.out} "
           f"(manifest: {path})", file=sys.stderr)
+    _auto_ingest(args)
+
+
+def _auto_ingest(args: argparse.Namespace) -> None:
+    """Ingest the finished run into the analytics store.
+
+    On by default for every ``--out`` run; ``REPRO_ANALYTICS=0``
+    disables it (and any store failure is warn-and-continue -- the
+    run's own artifacts are already on disk and must stay the source
+    of truth).
+    """
+    from repro.analytics import RunStore, ingest_enabled
+
+    if not args.out or not ingest_enabled():
+        return
+    try:
+        store = RunStore(getattr(args, "store", None))
+        report = store.ingest_run(args.out)
+    except Exception as exc:
+        obs.log_event(
+            "analytics_auto_ingest_failed",
+            level="warning",
+            dir=args.out,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+        return
+    if not report.skipped:
+        print(
+            f"ingested {report.rows_ingested} rows into analytics "
+            f"store {store.root} (run_seq {report.run_seq})",
+            file=sys.stderr,
+        )
 
 
 def _emit_rows(args: argparse.Namespace,
@@ -495,6 +603,23 @@ def _dispatch(
         if args.write or args.out_file:
             path = write_bench(payload, args.out_file)
             print(f"wrote {path}", file=sys.stderr)
+            from repro.analytics import RunStore, ingest_enabled
+
+            if ingest_enabled():
+                try:
+                    store = RunStore(args.store)
+                    report = store.ingest_bench(path)
+                    if not report.skipped:
+                        print(
+                            f"ingested bench snapshot into {store.root} "
+                            f"(run_seq {report.run_seq})",
+                            file=sys.stderr,
+                        )
+                except Exception as exc:
+                    print(
+                        "warning: bench analytics ingest failed: "
+                        f"{exc}", file=sys.stderr,
+                    )
         return 0
 
     if args.command == "list":
@@ -553,12 +678,16 @@ def _dispatch(
                   "(positional DIR or --out DIR)", file=sys.stderr)
             return 2
         try:
-            path = render_report(run_dir, output=args.output)
+            path = render_report(run_dir, output=args.output,
+                                 store_dir=args.store)
         except (ConfigError, OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(path)
         return 0
+
+    if args.command == "analytics":
+        return _dispatch_analytics(args)
 
     if args.command == "figure2":
         data = figures.figure2(jobs=jobs)
@@ -629,6 +758,124 @@ def _dispatch(
             chaos=report,
         )
         return 0 if report["ok"] else 1
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _dispatch_analytics(args: argparse.Namespace) -> int:
+    """``repro analytics ingest|query|timeline|stats``."""
+    from repro.analytics import RunStore, build_timeline
+    from repro.analytics.query import aggregate
+    from repro.analytics.timeline import (
+        load_baseline,
+        render_timeline_html,
+    )
+
+    store = RunStore(getattr(args, "store", None))
+
+    if args.action == "ingest":
+        reports = []
+        for path in args.paths:
+            try:
+                report = store.ingest_path(path, force=args.force)
+            except ConfigError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            reports.append(report.to_dict())
+            status = (
+                f"skipped ({report.reason})" if report.skipped
+                else f"run_seq {report.run_seq}: "
+                f"{report.rows_ingested} rows"
+                + (f", {report.rows_flagged} flagged"
+                   if report.rows_flagged else "")
+                + (f", {report.lines_damaged} damaged lines"
+                   if report.lines_damaged else "")
+                + (f", {report.rows_rejected} rejected"
+                   if report.rows_rejected else "")
+            )
+            print(f"{path}: {status}")
+        if args.json:
+            print(render_json_lines(reports))
+        return 0
+
+    if args.action == "query":
+        group_by = tuple(
+            c.strip() for c in args.group_by.split(",") if c.strip()
+        )
+        where = {}
+        for spec in args.where or ():
+            if "=" not in spec:
+                print(f"error: bad --where {spec!r} (COL=VALUE)",
+                      file=sys.stderr)
+                return 2
+            key, _, value = spec.partition("=")
+            where[key.strip()] = value.strip()
+        try:
+            result = aggregate(
+                store, args.metric, group_by=group_by, agg=args.agg,
+                kind=args.kind or None, where=where or None,
+            )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rows = [
+            {k: (round(v, 4) if isinstance(v, float) else v)
+             for k, v in row.items()}
+            for row in result.rows
+        ]
+        if args.json:
+            print(render_json_lines(rows))
+        else:
+            print(format_table(rows) if rows else "(no rows)")
+            print(
+                f"# {result.n_input_rows} input rows, "
+                f"{result.n_failed_skipped} failed skipped, "
+                f"{result.n_missing_skipped} missing skipped",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.action == "timeline":
+        baseline = None
+        if args.baseline:
+            try:
+                baseline = load_baseline(args.baseline)
+            except (OSError, ValueError) as exc:
+                print(f"error: unreadable baseline: {exc}",
+                      file=sys.stderr)
+                return 2
+        report = build_timeline(
+            store, baseline=baseline, tolerance=args.tolerance
+        )
+        if baseline is not None:
+            report.baseline_source = args.baseline
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True,
+                         default=str))
+        if args.html:
+            doc = render_timeline_html(report)
+            directory = os.path.dirname(args.html)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(args.html, "w", encoding="utf-8") as fh:
+                fh.write(doc)
+            print(f"wrote {args.html}", file=sys.stderr)
+        first = report.first_regression
+        if first:
+            print(
+                f"first regressing metric: {first['metric']} at run "
+                f"{first['run_seq']} ({first['run_id']}"
+                + (f", commit {first['commit']}" if first["commit"]
+                   else "")
+                + ")",
+                file=sys.stderr,
+            )
+            return 1
+        print("trajectory ok", file=sys.stderr)
+        return 0
+
+    if args.action == "stats":
+        print(json.dumps(store.stats(), indent=1, sort_keys=True))
+        return 0
 
     raise AssertionError("unreachable")  # pragma: no cover
 

@@ -1,8 +1,11 @@
-"""Columnar (structure-of-arrays) trace storage.
+"""Columnar (structure-of-arrays) storage machinery.
 
-The dynamic trace is held as seven flat columns -- pc, op code, producer
-sequence numbers, effective address, branch direction, and resolved next
-pc -- instead of one Python object per dynamic instruction.  Two
+Originally built for the dynamic trace -- seven flat columns (pc, op
+code, producer sequence numbers, effective address, branch direction,
+resolved next pc) instead of one Python object per dynamic instruction
+-- the buffer/seal machinery here is general and is also the array
+layer under the :mod:`repro.analytics` columnar run store (int64,
+int8, and float64 columns over millions of result rows).  Two
 interchangeable backends hold the sealed columns:
 
 - ``python`` -- stdlib ``array('q')`` / ``array('b')``, always available;
@@ -24,7 +27,9 @@ the truncated columns to the active backend once, at trace build time.
 
 from __future__ import annotations
 
+import math
 import os
+import struct
 from array import array
 from typing import Iterable, List, Optional
 
@@ -103,6 +108,25 @@ def int8_buffer(n: int) -> array:
     return array("b", bytes(n))
 
 
+#: Native-order float64 NaN, the "value absent" sentinel for analytics
+#: columns (result rows are an open set; most segments miss some keys).
+_NAN_WORD = struct.pack("=d", math.nan)
+
+
+def float64_buffer(n: int, fill: float = 0.0) -> array:
+    """A writable float64 emission buffer of length ``n``.
+
+    ``fill`` must be 0.0 or NaN -- the two bulk prefill patterns
+    (zeros for dense columns, NaN for sparse "missing value" columns),
+    both constructed as raw bytes rather than one float at a time.
+    """
+    if fill == 0.0:
+        return array("d", bytes(8 * n))
+    if math.isnan(fill):
+        return array("d", _NAN_WORD * n)
+    raise ValueError(f"unsupported prefill value: {fill}")
+
+
 def grow_int64(col: array, delta: int, fill: int = 0) -> None:
     """Extend an int64 emission buffer by ``delta`` prefilled slots."""
     col.frombytes(_NEG1_WORD * delta if fill == -1 else bytes(8 * delta))
@@ -111,6 +135,72 @@ def grow_int64(col: array, delta: int, fill: int = 0) -> None:
 def grow_int8(col: array, delta: int) -> None:
     """Extend an int8 emission buffer by ``delta`` zeroed slots."""
     col.frombytes(bytes(delta))
+
+
+def grow_float64(col: array, delta: int) -> None:
+    """Extend a float64 emission buffer by ``delta`` zeroed slots."""
+    col.frombytes(bytes(8 * delta))
+
+
+# --------------------------------------------------------------------- #
+# Generic typed columns (beyond the fixed trace schema).
+#
+# The analytics run store holds an *open* column set -- whatever numeric
+# and categorical keys its ingested result rows carry -- so it needs the
+# buffer/seal machinery parameterized by column kind rather than the
+# seven hard-wired trace columns above.
+# --------------------------------------------------------------------- #
+
+#: kind -> (array typecode, numpy dtype name, bytes per item)
+COLUMN_KINDS = {
+    "int64": ("q", "int64", 8),
+    "int8": ("b", "int8", 1),
+    "float64": ("d", "float64", 8),
+}
+
+
+def seal_column(col: array, kind: str):
+    """Convert one emission buffer to the active backend (zero-copy via
+    ``numpy.frombuffer`` when the NumPy backend is selected)."""
+    typecode, dtype, _ = COLUMN_KINDS[kind]
+    if col.typecode != typecode:
+        raise ConfigError(
+            f"column buffer typecode {col.typecode!r} does not match "
+            f"kind {kind!r} (expected {typecode!r})"
+        )
+    if backend() == "numpy":
+        return _np.frombuffer(col, dtype=dtype)
+    return col
+
+
+def column_from_values(values: Iterable, kind: str):
+    """Build a sealed column of ``kind`` from a Python iterable."""
+    typecode, dtype, _ = COLUMN_KINDS[kind]
+    if backend() == "numpy":
+        return _np.asarray(list(values), dtype=dtype)
+    return array(typecode, values)
+
+
+def column_from_bytes(raw: bytes, kind: str):
+    """Rehydrate a sealed column from its on-disk little-endian bytes.
+
+    Segment files store raw column bytes; both backends read the same
+    payload (``array`` and ``numpy`` agree on the memory layout for the
+    three supported kinds on every platform CPython supports).
+    """
+    typecode, dtype, _ = COLUMN_KINDS[kind]
+    if backend() == "numpy":
+        return _np.frombuffer(raw, dtype=dtype)
+    col = array(typecode)
+    col.frombytes(raw)
+    return col
+
+
+def column_to_bytes(col) -> bytes:
+    """The on-disk byte payload of a sealed (or emission) column."""
+    if _np is not None and isinstance(col, _np.ndarray):
+        return col.tobytes()
+    return col.tobytes()
 
 
 class TraceColumns:

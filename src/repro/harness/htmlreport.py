@@ -24,6 +24,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.obs.manifest import MANIFEST_NAME, RESULTS_NAME
 
@@ -101,8 +102,15 @@ def load_run(run_dir: str) -> RunData:
                     data.rows.append(json.loads(line))
     pattern = os.path.join(run_dir, "utrace", "*.summary.json")
     for path in sorted(glob.glob(pattern)):
-        with open(path, "r", encoding="utf-8") as fh:
-            data.summaries.append(json.load(fh))
+        # A corrupt or half-written summary must not take the whole
+        # report down; the trace sections simply lose that entry.
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data.summaries.append(json.load(fh))
+        except (OSError, ValueError):
+            obs.log_event(
+                "report_summary_unreadable", level="warning", path=path
+            )
     if data.manifest is None and not data.rows:
         raise ConfigError(
             f"no run artifacts in {run_dir!r}: expected "
@@ -187,12 +195,17 @@ def _header_section(data: RunData) -> str:
     man = data.manifest
     if man is None:
         return "<p class='muted'>no manifest.json in this directory</p>"
+    try:
+        wall = f"{float(man.get('wall_s', 0)):.2f} s"
+    except (TypeError, ValueError):
+        wall = str(man.get("wall_s"))
     facts = [
         ("command", man.get("command")),
         ("run id", man.get("run_id")),
+        ("commit", man.get("git_commit")),
         ("started", man.get("started")),
         ("finished", man.get("finished")),
-        ("wall", f"{man.get('wall_s', 0):.2f} s"),
+        ("wall", wall),
         ("rows", man.get("n_rows")),
         ("version", f"repro {man.get('version')} / "
                     f"python {man.get('python')}"),
@@ -269,9 +282,10 @@ def _phases_section(data: RunData) -> str:
 def _stalls_section(data: RunData) -> str:
     if not data.summaries:
         return (
-            "<p class='muted'>no utrace summaries -- run with "
-            "<code>repro trace</code> or <code>--trace-window</code> "
-            "to collect stall attribution</p>"
+            "<p class='muted'>(untraced run) -- no utrace summaries; "
+            "run with <code>repro trace</code> or "
+            "<code>--trace-window</code> to collect stall "
+            "attribution</p>"
         )
     colors = dict(STALL_COLORS)
     bars = []
@@ -301,8 +315,9 @@ def _energy_section(data: RunData) -> str:
     audited = [s for s in data.summaries if s.get("energy_audit")]
     if not audited:
         return (
-            "<p class='muted'>no energy audits -- traced runs with the "
-            "audit disabled, or no traces at all</p>"
+            "<p class='muted'>(untraced run) -- no energy audits; "
+            "traced runs with the audit disabled, or no traces at "
+            "all</p>"
         )
     colors = dict(ENERGY_COLORS)
     bars = []
@@ -343,9 +358,12 @@ def _traces_section(data: RunData) -> str:
         return ""
     rows = []
     for s in data.summaries:
+        window = s.get("window")
+        if not (isinstance(window, (list, tuple)) and len(window) == 2):
+            window = ("?", "?")
         rows.append({
             "label": s.get("label"),
-            "window": "{}..{}".format(*(s.get("window") or ["?", "?"])),
+            "window": "{}..{}".format(*window),
             "cycles": s.get("cycles"),
             "committed": s.get("committed"),
             "insts_recorded": s.get("insts_recorded"),
@@ -390,8 +408,43 @@ code { background: #f5f5f5; padding: .1em .3em; border-radius: 3px; }
 """
 
 
-def render_html(data: RunData) -> str:
-    """The full report document (pure; no I/O)."""
+def _timeline_section(store_dir: Optional[str]) -> str:
+    """Cross-run regression timeline fed by the analytics store.
+
+    Renders only when a store with ingested segments is reachable (an
+    explicit ``--store``, ``REPRO_ANALYTICS_DIR``, or the default
+    location); an empty or unreadable store degrades to a hint, never
+    an error -- the per-run sections must render regardless.
+    """
+    from repro.analytics import RunStore, build_timeline
+    from repro.analytics.timeline import timeline_section_html
+
+    store = RunStore(store_dir)
+    try:
+        if not store.segment_paths():
+            return (
+                "<p class='muted'>no analytics store at "
+                f"<code>{_esc(store.root)}</code> -- ingest runs with "
+                "<code>repro analytics ingest</code> to track "
+                "cross-run trends</p>"
+            )
+        report = build_timeline(store)
+    except Exception as exc:  # never fail the per-run report
+        obs.log_event(
+            "report_timeline_failed",
+            level="warning",
+            store=store.root,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+        return (
+            f"<p class='muted'>timeline unavailable: {_esc(exc)}</p>"
+        )
+    return timeline_section_html(report)
+
+
+def render_html(data: RunData, store_dir: Optional[str] = None) -> str:
+    """The full report document (pure aside from the store read)."""
     title = "repro run report"
     if data.manifest:
         title += f" -- {data.manifest.get('command', '')}"
@@ -401,6 +454,7 @@ def render_html(data: RunData) -> str:
         ("Phase timings", _phases_section(data)),
         ("Top-down stall attribution", _stalls_section(data)),
         ("Energy audit", _energy_section(data)),
+        ("Timeline", _timeline_section(store_dir)),
     ]
     body = "".join(
         f"<h2>{_esc(name)}</h2>{content}" for name, content in sections
@@ -416,12 +470,16 @@ def render_html(data: RunData) -> str:
     )
 
 
-def render_report(run_dir: str, output: Optional[str] = None) -> str:
+def render_report(
+    run_dir: str,
+    output: Optional[str] = None,
+    store_dir: Optional[str] = None,
+) -> str:
     """Load a run directory and write its ``report.html``; returns the
     output path."""
     data = load_run(run_dir)
     path = output or os.path.join(run_dir, REPORT_NAME)
-    doc = render_html(data)
+    doc = render_html(data, store_dir=store_dir)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)

@@ -38,7 +38,12 @@ from repro.obs.log import (
     reset,
     span,
 )
-from repro.obs.manifest import RunWriter, config_fingerprint, stable_json
+from repro.obs.manifest import (
+    RESULTS_SCHEMA_VERSION,
+    RunWriter,
+    config_fingerprint,
+    stable_json,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -53,6 +58,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "RESULTS_SCHEMA_VERSION",
     "RunWriter",
     "Span",
     "config_fingerprint",

@@ -36,6 +36,17 @@ MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
 RUN_TABLE_NAME = "run_table.csv"
 
+#: Layout version of the run artifacts (manifest + results.jsonl rows).
+#: Stamped into ``manifest.json`` as ``schema_version`` and into every
+#: ``results.jsonl`` record as a ``schema`` header field, so consumers
+#: (the :mod:`repro.analytics` ingester first among them) can reject or
+#: upgrade old layouts instead of mis-parsing them.
+#:
+#: - 1: the implicit PR 1-5 layout (no stamp anywhere);
+#: - 2: stamped records; manifest carries ``schema_version`` and a
+#:   best-effort ``git_commit``.
+RESULTS_SCHEMA_VERSION = 2
+
 
 def stable_json(obj: Any) -> str:
     """Deterministic JSON used for hashing and manifest payloads."""
@@ -66,6 +77,30 @@ def _package_version() -> str:
 
 def _utc(ts: float) -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(ts))
+
+
+def git_commit() -> Optional[str]:
+    """Best-effort commit hash for timeline attribution.
+
+    ``GITHUB_SHA`` (CI) wins over asking git; neither being available
+    returns ``None`` -- provenance must never fail a run.
+    """
+    sha = os.environ.get("GITHUB_SHA", "").strip()
+    if sha:
+        return sha
+    try:
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except Exception:
+        return None
+    if proc.returncode != 0:
+        return None
+    out = proc.stdout.strip()
+    return out or None
 
 
 class RunWriter:
@@ -120,8 +155,14 @@ class RunWriter:
         ``results.jsonl`` immediately (crash-safe partial results)."""
         row = dict(row)
         self.rows.append(row)
+        # The JSONL record carries a ``schema`` header field the
+        # in-memory row does not: run_table.csv and figure rows keep
+        # their historical shape, while on-disk records self-describe
+        # their layout version for the analytics ingester.
+        record = {"schema": RESULTS_SCHEMA_VERSION}
+        record.update(row)
         with open(self.results_path, "a", encoding="utf-8") as fh:
-            fh.write(stable_json(row) + "\n")
+            fh.write(stable_json(record) + "\n")
 
     def _append_run_table(self) -> None:
         lead = [c for c in RUN_TABLE_LEAD_COLUMNS]
@@ -158,6 +199,7 @@ class RunWriter:
         self._append_run_table()
         finished = time.time()
         manifest: Dict[str, Any] = {
+            "schema_version": RESULTS_SCHEMA_VERSION,
             "run_id": self.run_id,
             "command": self.command,
             "argv": self.argv,
@@ -180,6 +222,9 @@ class RunWriter:
                 for name, cfg in self.configs.items()
             },
         }
+        commit = git_commit()
+        if commit:
+            manifest["git_commit"] = commit
         if counters:
             manifest["counters"] = dict(counters)
         manifest.update(extra)

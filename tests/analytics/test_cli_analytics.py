@@ -1,0 +1,161 @@
+"""End-to-end CLI tests for ``repro analytics`` and auto-ingest.
+
+Auto-ingest at the end of ``--out`` runs is the fleet's data feed, and
+``REPRO_ANALYTICS=0`` (the suite-wide default from conftest) must keep
+runs bit-identical to the pre-analytics layout -- both sides of that
+switch are exercised here through the real CLI entry point.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.analytics.store import RunStore
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+def _run_with_out(tmp_path, name="out"):
+    out = str(tmp_path / name)
+    assert main(["run", "gap", "--target", "E", "--out", out]) == 0
+    return out
+
+
+def test_analytics_off_leaves_no_store(tmp_path, store_dir, capsys,
+                                       monkeypatch):
+    monkeypatch.setenv("REPRO_ANALYTICS", "0")
+    monkeypatch.setenv("REPRO_ANALYTICS_DIR", store_dir)
+    _run_with_out(tmp_path)
+    captured = capsys.readouterr()
+    assert "ingested" not in captured.out + captured.err
+    assert not os.path.exists(store_dir)
+
+
+def test_auto_ingest_on_run_with_out(tmp_path, store_dir, capsys,
+                                     monkeypatch):
+    monkeypatch.setenv("REPRO_ANALYTICS", "1")
+    _run_with_out(tmp_path)
+    # The run went through --store-less dispatch: default dir applies,
+    # which conftest points at a scratch path; use an explicit store
+    # for the assertable case.
+    assert main(["run", "gap", "--target", "E",
+                 "--out", str(tmp_path / "out2"),
+                 "--store", store_dir]) == 0
+    assert "ingested" in capsys.readouterr().err
+    store = RunStore(store_dir)
+    assert store.stats()["ingests"] == 1
+    seg = next(iter(store.segments()))
+    assert "result" in seg.strings("kind")
+
+
+def test_analytics_ingest_query_stats_roundtrip(tmp_path, store_dir,
+                                                capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_ANALYTICS", "0")  # manual ingest only
+    out = _run_with_out(tmp_path)
+    capsys.readouterr()
+
+    assert main(["analytics", "ingest", out, "--store", store_dir]) == 0
+    assert "run_seq 1" in capsys.readouterr().out
+
+    # Re-ingest dedups; --force appends a new segment.
+    assert main(["analytics", "ingest", out, "--store", store_dir]) == 0
+    assert "skipped" in capsys.readouterr().out
+    assert main(["analytics", "ingest", out, "--force",
+                 "--store", store_dir]) == 0
+    capsys.readouterr()
+
+    assert main(["analytics", "stats", "--store", store_dir]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["segments"] == 2
+
+    assert main(["analytics", "query", "--metric", "speedup_pct",
+                 "--agg", "mean", "--group-by", "run_seq,target",
+                 "--json", "--store", store_dir]) == 0
+    rows = [json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line]
+    assert {row["target"] for row in rows} == {"E"}
+    assert len(rows) == 2  # one per ingest seq
+
+
+def test_analytics_query_table_and_accounting(tmp_path, store_dir,
+                                              capsys):
+    RunStore(store_dir).append_rows(
+        [{"benchmark": "gap", "target": "L", "ed2_save_pct": 30.0}],
+        run_id="r1",
+    )
+    assert main(["analytics", "query", "--store", store_dir]) == 0
+    captured = capsys.readouterr()
+    assert "ed2_save_pct" not in captured.err
+    assert "value" in captured.out
+    assert "1 input rows" in captured.err
+
+
+def test_analytics_query_bad_where_exits_2(store_dir, capsys):
+    assert main(["analytics", "query", "--where", "nonsense",
+                 "--store", store_dir]) == 2
+    assert "COL=VALUE" in capsys.readouterr().err
+
+
+def test_analytics_timeline_ok_and_regressed(tmp_path, store_dir,
+                                             capsys):
+    store = RunStore(store_dir)
+    store.append_rows(
+        [{"benchmark": "gap", "target": "L", "ed2_save_pct": 30.0}],
+        run_id="r1", commit="aaaa",
+    )
+    html_path = str(tmp_path / "timeline.html")
+    assert main(["analytics", "timeline", "--store", store_dir,
+                 "--html", html_path]) == 0
+    captured = capsys.readouterr()
+    assert "trajectory ok" in captured.err
+    payload = json.loads(captured.out)
+    assert payload["ok"] is True
+    assert "<svg" in open(html_path).read()
+
+    store.append_rows(
+        [{"benchmark": "gap", "target": "L", "ed2_save_pct": 2.0}],
+        run_id="r2", commit="bbbb",
+    )
+    assert main(["analytics", "timeline", "--store", store_dir]) == 1
+    captured = capsys.readouterr()
+    assert ("first regressing metric: gmean_ed2_save_pct[L] at run 2"
+            in captured.err)
+    assert "r2" in captured.err
+    assert "commit bbbb" in captured.err
+
+
+def test_analytics_timeline_unreadable_baseline_exits_2(store_dir,
+                                                        capsys):
+    assert main(["analytics", "timeline", "--store", store_dir,
+                 "--baseline", "/does/not/exist.json"]) == 2
+    assert "unreadable baseline" in capsys.readouterr().err
+
+
+def test_bench_out_file_auto_ingests(tmp_path, store_dir, capsys,
+                                     monkeypatch):
+    monkeypatch.setenv("REPRO_ANALYTICS", "1")
+    out_file = str(tmp_path / "bench.json")
+    assert main(["bench", "--quick", "--no-grid",
+                 "--out-file", out_file, "--store", store_dir]) == 0
+    captured = capsys.readouterr()
+    assert "ingested bench snapshot" in captured.err
+    store = RunStore(store_dir)
+    seg = next(iter(store.segments()))
+    assert set(seg.strings("kind")) == {"bench"}
+
+
+def test_report_with_store_renders_timeline(tmp_path, store_dir,
+                                            capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_ANALYTICS", "0")
+    out = _run_with_out(tmp_path)
+    RunStore(store_dir).ingest_run(out)
+    assert main(["report", out, "--store", store_dir]) == 0
+    capsys.readouterr()
+    doc = open(os.path.join(out, "report.html")).read()
+    assert "Timeline" in doc
+    assert "trajectory ok" in doc

@@ -153,3 +153,61 @@ def test_render_report_custom_output(tmp_path):
     out = tmp_path / "sub" / "r.html"
     assert render_report(str(tmp_path), output=str(out)) == str(out)
     assert out.exists()
+
+
+def test_untraced_run_renders_placeholders(tmp_path):
+    """Stall/energy sections degrade to '(untraced run)', not errors."""
+    _write_run(tmp_path, with_traces=False)
+    doc = render_html(load_run(str(tmp_path)))
+    _assert_well_formed(doc)
+    assert doc.count("(untraced run)") == 2  # stalls + energy sections
+    assert "Top-down stall attribution" in doc
+    assert "Energy audit" in doc
+
+
+def test_corrupt_summary_does_not_break_report(tmp_path):
+    _write_run(tmp_path, with_traces=True)
+    (tmp_path / "utrace" / "zz.broken.summary.json").write_text("{ nope")
+    data = load_run(str(tmp_path))
+    assert len(data.summaries) == 1  # the broken one is dropped, logged
+    doc = render_html(data)
+    _assert_well_formed(doc)
+    assert "gap.L.optimized" in doc
+
+
+def test_summary_without_window_renders(tmp_path):
+    _write_run(tmp_path, with_traces=True)
+    path = tmp_path / "utrace" / "gap.L.optimized.abc.summary.json"
+    summary = json.loads(path.read_text())
+    del summary["window"]
+    path.write_text(json.dumps(summary))
+    doc = render_html(load_run(str(tmp_path)))
+    _assert_well_formed(doc)
+    assert "?..?" in doc
+
+
+def test_timeline_section_hints_when_store_empty(tmp_path):
+    _write_run(tmp_path)
+    store_dir = str(tmp_path / "no-store-here")
+    doc = render_html(load_run(str(tmp_path)), store_dir=store_dir)
+    _assert_well_formed(doc)
+    assert "Timeline" in doc
+    assert "no analytics store" in doc
+    assert "repro analytics ingest" in doc
+
+
+def test_timeline_section_renders_from_store(tmp_path):
+    from repro.analytics import RunStore
+
+    _write_run(tmp_path)
+    store = RunStore(str(tmp_path / "store"))
+    store.append_rows(
+        [{"benchmark": "gap", "target": "L", "ed2_save_pct": 30.0}],
+        run_id="r1",
+    )
+    doc = render_html(load_run(str(tmp_path)), store_dir=store.root)
+    _assert_well_formed(doc)
+    assert "trajectory ok" in doc
+    assert "gmean_ed2_save_pct[L]" in doc
+    assert "<svg" in doc
+    assert "<script" not in doc

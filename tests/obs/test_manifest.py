@@ -4,7 +4,12 @@ import csv
 import json
 
 from repro.config import EnergyConfig, MachineConfig
-from repro.obs.manifest import RunWriter, config_fingerprint
+from repro.obs.manifest import (
+    RESULTS_SCHEMA_VERSION,
+    RunWriter,
+    config_fingerprint,
+    git_commit,
+)
 
 
 def test_fingerprint_stable_across_instances():
@@ -88,3 +93,34 @@ def test_run_table_appends_and_reuses_header(tmp_path):
 def test_run_ids_embed_timestamp(tmp_path):
     writer = RunWriter(str(tmp_path / "x"))
     assert "T" in writer.run_id and "-" in writer.run_id
+
+
+def test_results_records_are_schema_stamped(tmp_path):
+    writer = RunWriter(str(tmp_path / "x"), command="run")
+    writer.add_row({"benchmark": "gap", "target": "L"})
+    writer.finalize()
+    record = json.loads(
+        open(tmp_path / "x" / "results.jsonl").read().splitlines()[0]
+    )
+    assert record["schema"] == RESULTS_SCHEMA_VERSION
+    # In-memory rows stay unstamped: run_table.csv and figure payloads
+    # keep their historical shape.
+    assert "schema" not in writer.rows[0]
+    with open(tmp_path / "x" / "run_table.csv", newline="") as fh:
+        header = fh.readline()
+    assert "schema" not in header
+
+
+def test_manifest_carries_schema_version_and_commit(tmp_path, monkeypatch):
+    monkeypatch.setenv("GITHUB_SHA", "f" * 40)
+    writer = RunWriter(str(tmp_path / "x"), command="run")
+    writer.add_row({"benchmark": "gap", "target": "L"})
+    writer.finalize()
+    manifest = json.loads(open(tmp_path / "x" / "manifest.json").read())
+    assert manifest["schema_version"] == RESULTS_SCHEMA_VERSION
+    assert manifest["git_commit"] == "f" * 40
+
+
+def test_git_commit_env_override(monkeypatch):
+    monkeypatch.setenv("GITHUB_SHA", "abc123")
+    assert git_commit() == "abc123"
