@@ -10,11 +10,16 @@ Two kinds of checks:
   must never do silently.
 - **Throughput** (tolerance band): per-benchmark ``cycles_per_sec`` may
   not drop, and the grid walls (``sequential_uncached_wall_s``,
-  ``cold_wall_s``) may not grow, by more than ``--tolerance`` (a
-  fraction; default 0.5 to absorb CI-runner variance).  Machines faster
-  or slower than the baseline host pass as long as they are uniformly
-  so; only a lopsided slowdown -- the shape of a code regression --
-  trips the guard.
+  ``cold_wall_s``, and each engine's wall in
+  ``figure_grid.backend_walls_s``) may not grow, by more than
+  ``--tolerance`` (a fraction; default 0.5 to absorb CI-runner
+  variance).  Machines faster or slower than the baseline host pass as
+  long as they are uniformly so; only a lopsided slowdown -- the shape
+  of a code regression -- trips the guard.
+
+The payloads' ``sim_backend`` fields must also agree: walls measured
+under different default cycle engines are not comparable, so a drifted
+default is reported as a failure rather than silently band-checked.
 
 Usage::
 
@@ -48,6 +53,15 @@ def compare_named(
     failures: List[Tuple[str, str]] = []
     base_sim = _simulator_by_benchmark(baseline)
     cur_sim = _simulator_by_benchmark(current)
+
+    base_backend = baseline.get("sim_backend")
+    cur_backend = current.get("sim_backend")
+    if base_backend is not None and cur_backend != base_backend:
+        failures.append((
+            "sim_backend",
+            f"sim_backend: baseline measured under {base_backend!r} but "
+            f"current ran under {cur_backend!r}; walls are not comparable",
+        ))
 
     for name, base_row in base_sim.items():
         cur_row = cur_sim.get(name)
@@ -93,6 +107,27 @@ def compare_named(
                 f"figure_grid.{metric}",
                 f"figure_grid.{metric}: {cur_wall}s > ceiling "
                 f"{ceiling:.2f}s (baseline {base_wall}s, "
+                f"tolerance {tolerance:.0%})",
+            ))
+    base_walls = base_grid.get("backend_walls_s", {}) or {}
+    cur_walls = cur_grid.get("backend_walls_s", {}) or {}
+    for name, base_wall in base_walls.items():
+        cur_wall = cur_walls.get(name)
+        if cur_wall is None:
+            failures.append((
+                f"figure_grid.backend_walls_s.{name}",
+                f"figure_grid.backend_walls_s.{name}: missing from "
+                "current run",
+            ))
+            continue
+        if float(base_wall) < 1.0:
+            continue
+        ceiling = float(base_wall) * (1.0 + tolerance)
+        if float(cur_wall) > ceiling:
+            failures.append((
+                f"figure_grid.backend_walls_s.{name}",
+                f"figure_grid.backend_walls_s.{name}: {cur_wall}s > "
+                f"ceiling {ceiling:.2f}s (baseline {base_wall}s, "
                 f"tolerance {tolerance:.0%})",
             ))
     if base_grid.get("rows") != cur_grid.get("rows"):
@@ -143,6 +178,17 @@ def main(argv=None) -> int:
         c = current.get("figure_grid", {}).get(metric)
         if b is not None or c is not None:
             print(f"  {metric}: {b}s -> {c}s")
+    base_walls = baseline.get("figure_grid", {}).get("backend_walls_s", {})
+    cur_walls = current.get("figure_grid", {}).get("backend_walls_s", {})
+    for name in sorted(set(base_walls) | set(cur_walls)):
+        print(
+            f"  backend_walls_s[{name}]: {base_walls.get(name)}s -> "
+            f"{cur_walls.get(name)}s"
+        )
+    print(
+        f"  sim_backend: {baseline.get('sim_backend')} -> "
+        f"{current.get('sim_backend')}"
+    )
 
     if failures:
         print("\nREGRESSIONS:")

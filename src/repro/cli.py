@@ -84,6 +84,7 @@ from repro.config import (
     SelectionConfig,
     SimulationConfig,
 )
+from repro.cpu import engine as sim_engine
 from repro.errors import ConfigError
 from repro.frontend import columns
 from repro.harness import figures, simcache
@@ -179,6 +180,16 @@ def _parser() -> argparse.ArgumentParser:
         "REPRO_NUMPY=0/1 also selects it)",
     )
     obs_flags.add_argument(
+        "--sim-backend",
+        choices=sim_engine.SIM_BACKENDS,
+        default=None,
+        metavar="BACKEND",
+        help="cycle-engine backend: reference (the oracle Pipeline), "
+        "batched (merged-loop engine with shared per-trace precomputes; "
+        "default), or numpy (batched + vectorized precomputes); all are "
+        "bit-identical (REPRO_SIM_BACKEND also selects it)",
+    )
+    obs_flags.add_argument(
         "--trace-window",
         metavar="START:END",
         default=None,
@@ -244,6 +255,11 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument("--write", action="store_true",
                        help="write BENCH_<date>.json (implied by "
                        "--out-file)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run the bench under cProfile and emit a "
+                       "top-25 cumulative-time hotspot table (written "
+                       "next to the payload as *.profile.txt when "
+                       "writing, else printed)")
 
     trace = sub.add_parser(
         "trace", parents=[obs_flags],
@@ -499,6 +515,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    if getattr(args, "sim_backend", None):
+        try:
+            sim_engine.set_sim_backend(args.sim_backend)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     if getattr(args, "resume", False) and not getattr(args, "out", None):
         print("error: --resume requires --out DIR", file=sys.stderr)
         return 2
@@ -594,15 +617,33 @@ def _dispatch(
         return 0
 
     if args.command == "bench":
-        from repro.harness.bench import run_bench, write_bench
+        from repro.harness.bench import hotspot_table, run_bench, write_bench
 
-        payload = run_bench(
-            quick=args.quick, jobs=jobs, with_grid=not args.no_grid
-        )
+        profile_text = None
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            payload = profiler.runcall(
+                run_bench,
+                quick=args.quick, jobs=jobs, with_grid=not args.no_grid,
+            )
+            profile_text = hotspot_table(profiler, limit=25)
+        else:
+            payload = run_bench(
+                quick=args.quick, jobs=jobs, with_grid=not args.no_grid
+            )
         print(json.dumps(payload, indent=1, sort_keys=True))
         if args.write or args.out_file:
             path = write_bench(payload, args.out_file)
             print(f"wrote {path}", file=sys.stderr)
+            if profile_text is not None:
+                profile_path = (
+                    path[:-5] if path.endswith(".json") else path
+                ) + ".profile.txt"
+                with open(profile_path, "w") as fh:
+                    fh.write(profile_text)
+                print(f"wrote {profile_path}", file=sys.stderr)
             from repro.analytics import RunStore, ingest_enabled
 
             if ingest_enabled():
@@ -620,6 +661,8 @@ def _dispatch(
                         "warning: bench analytics ingest failed: "
                         f"{exc}", file=sys.stderr,
                     )
+        elif profile_text is not None:
+            print(profile_text, file=sys.stderr)
         return 0
 
     if args.command == "list":

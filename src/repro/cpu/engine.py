@@ -1,0 +1,97 @@
+"""Cycle-engine backend selection.
+
+Three interchangeable engines run a timing simulation:
+
+- ``reference`` -- the original :class:`repro.cpu.pipeline.Pipeline`
+  per-cycle stage closures, retained verbatim as the oracle every other
+  backend is gated against (and the only engine with microarchitectural
+  tracing hooks);
+- ``batched``   -- the merged-loop engine in :mod:`repro.cpu.batch`:
+  identical machine semantics with the per-cycle interpreter overhead
+  stripped out, plus per-trace shared precomputes (branch-predictor
+  outcome column, BTB redirect column, fetch-line ids, warmed cache
+  images) reused across every machine configuration simulated over the
+  same trace;
+- ``numpy``     -- the batched engine with the precompute passes
+  vectorized over the sealed trace columns (requires numpy).
+
+The backend is selected by the ``REPRO_SIM_BACKEND`` environment
+variable or programmatically via :func:`set_sim_backend` (the
+``--sim-backend`` CLI flag and the golden bit-identity tests), default
+``batched``.  Nothing numeric may depend on the backend: all three must
+produce bit-identical :class:`~repro.cpu.stats.SimStats`, selected
+p-threads, and figure rows (``tests/cpu/test_golden_sim_backends.py``).
+
+This module intentionally imports no simulator code: the dispatch in
+:func:`repro.cpu.pipeline.simulate` lazy-imports the batch engine, so
+backend *resolution* stays import-cycle-free and costs nothing when the
+reference engine is forced.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ConfigError
+
+try:  # optional backend; batched/reference need no third party
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
+#: Every selectable engine, in documentation order.
+SIM_BACKENDS = ("reference", "batched", "numpy")
+
+_backend: Optional[str] = None
+
+
+def _resolve_from_env() -> str:
+    env = os.environ.get("REPRO_SIM_BACKEND", "").strip().lower()
+    if not env:
+        return "batched"
+    if env not in SIM_BACKENDS:
+        raise ConfigError(
+            f"REPRO_SIM_BACKEND={env!r} is not a simulation backend; "
+            f"legal: {', '.join(SIM_BACKENDS)}"
+        )
+    if env == "numpy" and _np is None:
+        raise ConfigError(
+            "REPRO_SIM_BACKEND=numpy requires numpy, which is not importable"
+        )
+    return env
+
+
+def available_backends() -> tuple:
+    """Backends selectable in this environment (numpy needs numpy)."""
+    return tuple(
+        name
+        for name in SIM_BACKENDS
+        if name != "numpy" or _np is not None
+    )
+
+
+def backend() -> str:
+    """The active cycle-engine backend name."""
+    global _backend
+    if _backend is None:
+        _backend = _resolve_from_env()
+    return _backend
+
+
+def set_sim_backend(name: Optional[str]) -> None:
+    """Force a backend, or ``None`` to re-resolve from the environment."""
+    global _backend
+    if name is None:
+        _backend = None
+        return
+    if name not in SIM_BACKENDS:
+        raise ConfigError(
+            f"unknown simulation backend: {name!r}; "
+            f"legal: {', '.join(SIM_BACKENDS)}"
+        )
+    if name == "numpy" and _np is None:
+        raise ConfigError(
+            "numpy simulation backend requested but numpy is not importable"
+        )
+    _backend = name

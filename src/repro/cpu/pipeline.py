@@ -1049,5 +1049,21 @@ def simulate(
     pthreads: Optional[PThreadProgram] = None,
     warm: bool = True,
 ) -> SimStats:
-    """Convenience wrapper: build a pipeline, run it, return statistics."""
+    """Run one timing simulation on the selected cycle-engine backend.
+
+    Dispatches to the merged-loop engine (:mod:`repro.cpu.batch`) unless
+    the ``reference`` backend is selected or microarchitectural tracing
+    is active -- the utrace hooks live only in :class:`Pipeline`.  All
+    backends are bit-identical (``tests/cpu/test_golden_sim_backends``),
+    so nothing downstream can observe the dispatch.
+    """
+    from repro.cpu import engine
+
+    name = engine.backend()
+    if name != "reference" and not utrace.enabled():
+        from repro.cpu import batch
+
+        return batch.simulate_fast(
+            trace, config, pthreads, warm=warm, vector=name == "numpy"
+        )
     return Pipeline(trace, config, pthreads, warm=warm).run()

@@ -119,15 +119,23 @@ class ForwardPass:
         if n == 0:
             return 0.0
         start = self.start
-        width = float(cfg.width)
-        commit_w = float(cfg.commit_width)
+        inv_width = 1.0 / cfg.width
+        inv_commit = 1.0 / cfg.commit_width
         rob = cfg.rob_entries
         refill = float(cfg.frontend_depth)
-        latency = self._base_latency
         src1 = self._src1
         src2 = self._src2
         mispred = self._mispredicted
-        override = latency_override or {}
+        # Apply the override once up front; the inner loop then reads a
+        # plain latency list instead of probing a dict per instruction.
+        if latency_override:
+            latency = self._base_latency[:]
+            for seq, lat in latency_override.items():
+                i = seq - start
+                if 0 <= i < n:
+                    latency[i] = lat
+        else:
+            latency = self._base_latency
 
         comp: List[float] = [0.0] * n  # completion time of local index i
         commit: List[float] = [0.0] * n
@@ -136,7 +144,7 @@ class ForwardPass:
         redirect_ready = 0.0
 
         for i in range(n):
-            d = d_prev + 1.0 / width
+            d = d_prev + inv_width
             if redirect_ready > d:
                 d = redirect_ready
             if i >= rob:
@@ -154,12 +162,11 @@ class ForwardPass:
                 t = comp[p - start]
                 if t > e:
                     e = t
-            lat = override.get(start + i)
-            if lat is None:
-                lat = latency[i]
-            done = e + lat
+            done = e + latency[i]
             comp[i] = done
-            c = done if done > c_prev + 1.0 / commit_w else c_prev + 1.0 / commit_w
+            c = c_prev + inv_commit
+            if done > c:
+                c = done
             commit[i] = c
             c_prev = c
             d_prev = d

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cpu.pthreads import PInstClass, PInstSpec, PThreadProgram, SpawnSpec
 from repro.frontend.interpreter import InterpreterState, interpret
 from repro.frontend.trace import NO_PRODUCER, Trace
@@ -126,11 +128,53 @@ def _expand_body(
     )
 
 
+# --------------------------------------------------------------------- #
+# Expansion memo.  A spawn list is a pure function of (program, budget,
+# p-thread content): the hooks that collect spawns only *read* the
+# interpreter state, so the replay is the same execution every time.  A
+# figure sweep selects heavily-overlapping p-thread sets across its
+# cells (the same static p-thread reappears at other latencies and
+# targets), and each expansion replays the full trace budget -- caching
+# per static p-thread means a sweep only pays for interpretation when a
+# cell introduces a p-thread nobody has expanded yet.
+#
+# Keys exclude ``pthread_id`` (selection runs number their picks
+# independently); the id recorded at build time is rewritten on reuse.
+_SPAWN_CACHE: "OrderedDict[Tuple, Tuple[int, Tuple[SpawnSpec, ...]]]" = (
+    OrderedDict()
+)
+_SPAWN_CACHE_LIMIT = 64
+
+_SPAWN_HITS = obs.counters.counter("ddmt.augment.spawn_cache.hits")
+_SPAWN_BUILDS = obs.counters.counter("ddmt.augment.spawn_cache.builds")
+_TRACE_ADOPTIONS = obs.counters.counter("ddmt.augment.trace_adoptions")
+
+
+def clear_spawn_cache() -> None:
+    """Drop memoized spawn expansions (tests that patch workloads)."""
+    _SPAWN_CACHE.clear()
+
+
+def _content_key(pthread: StaticPThread) -> Tuple:
+    """Behavioral identity of a static p-thread for expansion purposes:
+    everything ``_expand_body`` and hint targeting can observe."""
+    return (
+        pthread.trigger_pc,
+        pthread.hint_offset,
+        pthread.target_pcs,
+        tuple(
+            (i.pc, i.op.value, i.rd, i.rs1, i.rs2, i.imm, i.target)
+            for i in pthread.body
+        ),
+    )
+
+
 def expand_pthreads(
     program: Program,
     pthreads: List[StaticPThread],
     max_instructions: int = 2_000_000,
     reference_trace: Optional[Trace] = None,
+    require_halt: bool = True,
 ) -> AugmentedProgram:
     """Replay ``program`` and expand every spawn of every p-thread.
 
@@ -138,50 +182,116 @@ def expand_pthreads(
     their target branch each spawn's hint addresses; that mapping comes
     from a reference trace (passed in, or produced by one extra plain
     interpretation).
+
+    When ``reference_trace`` is supplied, it is also *adopted* as the
+    augmented program's trace: spawn hooks cannot perturb execution, so
+    the hooked interpretation reproduces the reference trace exactly,
+    and sharing the object lets every augmented program reuse the
+    reference trace's derived analyses and simulation precomputes.
     """
-    by_trigger: Dict[int, List[StaticPThread]] = {}
-    for pthread in pthreads:
-        by_trigger.setdefault(pthread.trigger_pc, []).append(pthread)
+    program_fp = program.fingerprint()
+    keys = [
+        (program_fp, max_instructions, require_halt) + _content_key(p)
+        for p in pthreads
+    ]
 
-    # Occurrence lists for branch-hint targeting.
-    hint_occurrences: Dict[int, List[int]] = {}
-    if any(p.is_branch_pthread for p in pthreads):
-        if reference_trace is None:
-            reference_trace = interpret(program, max_instructions)
-        for pthread in pthreads:
-            if pthread.is_branch_pthread:
-                pc = pthread.target_pcs[0]
-                if pc not in hint_occurrences:
-                    hint_occurrences[pc] = reference_trace.occurrences(pc)
+    # Per-pthread spawn lists, indexed by position in ``pthreads``.
+    expanded: Dict[int, Tuple[SpawnSpec, ...]] = {}
+    uncached: List[int] = []
+    for idx, key in enumerate(keys):
+        hit = _SPAWN_CACHE.get(key)
+        if hit is None:
+            uncached.append(idx)
+            continue
+        _SPAWN_CACHE.move_to_end(key)
+        _SPAWN_HITS.add()
+        built_id, spawn_list = hit
+        wanted_id = pthreads[idx].pthread_id
+        if built_id != wanted_id:
+            spawn_list = tuple(
+                replace(s, static_id=wanted_id) for s in spawn_list
+            )
+        expanded[idx] = spawn_list
 
-    spawns: List[SpawnSpec] = []
-    spawn_counts: Dict[int, int] = {p.pthread_id: 0 for p in pthreads}
+    trace = reference_trace
+    if uncached:
+        need = [pthreads[i] for i in uncached]
 
-    def hint_target(pthread: StaticPThread, seq: int) -> int:
-        occurrences = hint_occurrences[pthread.target_pcs[0]]
-        index = bisect.bisect_right(occurrences, seq)
-        target_index = index + pthread.hint_offset - 1
-        if target_index < len(occurrences):
-            return occurrences[target_index]
-        return -1
-
-    def make_hook(candidates: List[StaticPThread]):
-        def hook(seq: int, state: InterpreterState) -> None:
-            for pthread in candidates:
-                hint_seq = (
-                    hint_target(pthread, seq)
-                    if pthread.is_branch_pthread
-                    else -1
+        # Occurrence lists for branch-hint targeting.
+        hint_occurrences: Dict[int, List[int]] = {}
+        if any(p.is_branch_pthread for p in need):
+            if reference_trace is None:
+                reference_trace = interpret(
+                    program, max_instructions, require_halt=require_halt
                 )
-                spawns.append(
-                    _expand_body(pthread, seq, state, hint_seq=hint_seq)
-                )
-                spawn_counts[pthread.pthread_id] += 1
+                trace = reference_trace
+            for pthread in need:
+                if pthread.is_branch_pthread:
+                    pc = pthread.target_pcs[0]
+                    if pc not in hint_occurrences:
+                        hint_occurrences[pc] = reference_trace.occurrences(pc)
 
-        return hook
+        def hint_target(pthread: StaticPThread, seq: int) -> int:
+            occurrences = hint_occurrences[pthread.target_pcs[0]]
+            index = bisect.bisect_right(occurrences, seq)
+            target_index = index + pthread.hint_offset - 1
+            if target_index < len(occurrences):
+                return occurrences[target_index]
+            return -1
 
-    hooks = {pc: make_hook(group) for pc, group in by_trigger.items()}
-    trace = interpret(program, max_instructions, pc_hooks=hooks)
+        collected: Dict[int, List[SpawnSpec]] = {i: [] for i in uncached}
+        by_trigger: Dict[int, List[int]] = {}
+        for i in uncached:
+            by_trigger.setdefault(pthreads[i].trigger_pc, []).append(i)
+
+        def make_hook(candidates: List[int]):
+            def hook(seq: int, state: InterpreterState) -> None:
+                for i in candidates:
+                    pthread = pthreads[i]
+                    hint_seq = (
+                        hint_target(pthread, seq)
+                        if pthread.is_branch_pthread
+                        else -1
+                    )
+                    collected[i].append(
+                        _expand_body(pthread, seq, state, hint_seq=hint_seq)
+                    )
+
+            return hook
+
+        hooks = {pc: make_hook(group) for pc, group in by_trigger.items()}
+        hooked_trace = interpret(
+            program, max_instructions, pc_hooks=hooks,
+            require_halt=require_halt,
+        )
+        if trace is None:
+            trace = hooked_trace
+        for i in uncached:
+            spawn_list = tuple(collected[i])
+            expanded[i] = spawn_list
+            _SPAWN_CACHE[keys[i]] = (pthreads[i].pthread_id, spawn_list)
+            _SPAWN_BUILDS.add()
+        while len(_SPAWN_CACHE) > _SPAWN_CACHE_LIMIT:
+            _SPAWN_CACHE.popitem(last=False)
+    elif trace is None:
+        trace = interpret(program, max_instructions, require_halt=require_halt)
+    if trace is reference_trace and reference_trace is not None:
+        _TRACE_ADOPTIONS.add()
+
+    # Merge per-pthread lists back into the order a single hooked replay
+    # would have produced them: trace order, ties (several p-threads on
+    # one trigger) broken by position in ``pthreads``.  Spawn order is
+    # observable -- the simulator allocates contexts in list order.
+    merged: List[Tuple[int, int, SpawnSpec]] = []
+    for idx in range(len(pthreads)):
+        for spawn in expanded[idx]:
+            merged.append((spawn.trigger_seq, idx, spawn))
+    merged.sort(key=lambda item: (item[0], item[1]))
+    spawns = [item[2] for item in merged]
+    spawn_counts = {
+        pthreads[idx].pthread_id: len(expanded[idx])
+        for idx in range(len(pthreads))
+    }
     return AugmentedProgram(
         trace=trace,
         pthreads=PThreadProgram.from_spawns(spawns),

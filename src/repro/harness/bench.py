@@ -31,7 +31,8 @@ from repro.config import MachineConfig, SimulationConfig
 from repro.cpu.pipeline import simulate
 from repro.frontend import columns, tracestore
 from repro.frontend.interpreter import interpret
-from repro.harness import experiment, figures, simcache
+from repro.cpu import engine as sim_engine
+from repro.harness import batchplan, experiment, figures, simcache
 from repro.pthsel.targets import Target
 from repro.workloads import benchmark_names
 from repro.workloads.registry import get_program
@@ -112,20 +113,61 @@ def bench_grid(
         out["rows"] = len(rows)
         # Per-row cold phase breakdown (trace/analysis/sim walls) plus
         # totals, so the bench JSON shows where the cold path spends.
+        # Rows whose layers were all served from in-process memos (e.g.
+        # a second target selecting an already-simulated p-thread set)
+        # built nothing and would silently dilute the breakdown: they
+        # are counted, not listed.  Each listed row carries its cache
+        # provenance (src_*) so "cheap" rows are explainable.
         phase_keys = ("t_trace", "t_analysis", "t_sim")
-        out["cold_phase_rows"] = [
-            {
-                k: row[k]
-                for k in ("benchmark", "target", *phase_keys)
-                if k in row
-            }
-            for row in rows
-        ]
+        cold_rows = []
+        cached_rows = 0
+        for row in rows:
+            if sum(float(row.get(k, 0.0)) for k in phase_keys) <= 0.0:
+                cached_rows += 1
+                continue
+            cold_rows.append(
+                {
+                    k: row[k]
+                    for k in ("benchmark", "target", *phase_keys)
+                    if k in row
+                }
+                | {
+                    k: v
+                    for k, v in row.items()
+                    if k.startswith("src_")
+                }
+            )
+        out["cold_phase_rows"] = cold_rows
+        out["cached_rows"] = cached_rows
         out["cold_phase_totals_s"] = {
             k[2:]: round(sum(float(r.get(k, 0.0)) for r in rows), 3)
             for k in phase_keys
         }
+        out["batch_prewarm"] = batchplan.last_prewarm_stats()
         out["tracestore"] = tracestore.stats()
+
+        # Per-backend walls over the same sequential uncached grid, so
+        # the committed baseline pins every engine's speed -- a change
+        # that only slows the engine nobody selected by default would
+        # otherwise sail through.  Quick mode only: re-running the full
+        # grid under the reference engine would multiply bench time.
+        if quick:
+            active = sim_engine.backend()
+            walls = {active: out["sequential_uncached_wall_s"]}
+            for name in sim_engine.available_backends():
+                if name == active:
+                    continue
+                experiment.clear_baseline_cache()
+                tracestore.clear()
+                sim_engine.set_sim_backend(name)
+                try:
+                    with simcache.disabled():
+                        t0 = time.perf_counter()
+                        figures.figure5_memory_latency(jobs=1, **kwargs)
+                        walls[name] = round(time.perf_counter() - t0, 3)
+                finally:
+                    sim_engine.set_sim_backend(active)
+            out["backend_walls_s"] = walls
 
     t0 = time.perf_counter()
     rows = figures.figure5_memory_latency(jobs=jobs, **kwargs)
@@ -161,6 +203,7 @@ def run_bench(
         },
         "quick": quick,
         "trace_backend": columns.backend(),
+        "sim_backend": sim_engine.backend(),
         "simulator": bench_simulator(
             QUICK_BENCHMARKS if quick else None
         ),
@@ -191,6 +234,23 @@ def run_bench(
     if injected:
         payload["resilience"]["injected"] = injected
     return payload
+
+
+def hotspot_table(profile, limit: int = 25) -> str:
+    """Render a cProfile run as a top-``limit`` cumulative-time table.
+
+    ``profile`` is a :class:`cProfile.Profile` that has finished
+    collecting (the CLI's ``bench --profile`` wraps :func:`run_bench`
+    in one).  Returned as text so it can be printed or written next to
+    the bench payload as a ``*.profile.txt`` artifact.
+    """
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return buffer.getvalue()
 
 
 def write_bench(

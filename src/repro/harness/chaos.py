@@ -50,9 +50,14 @@ QUICK_BENCHMARKS = 2
 
 
 def _comparable(row: Dict[str, object]) -> Dict[str, object]:
-    """A result row minus its wall-clock columns (the only legitimate
-    run-to-run difference)."""
-    return {k: v for k, v in row.items() if not str(k).startswith("t_")}
+    """A result row minus its wall-clock and cache-provenance columns
+    (the only legitimate run-to-run differences: retries and memo
+    warmth change where a layer came from, never what it computed)."""
+    return {
+        k: v
+        for k, v in row.items()
+        if not str(k).startswith("t_") and not str(k).startswith("src_")
+    }
 
 
 def predict_worker_run_faults(

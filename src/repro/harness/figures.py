@@ -78,6 +78,18 @@ def result_row(result: GridResult) -> Dict[str, object]:
     row.update(
         {f"t_{k}": round(v, 4) for k, v in result.phase_seconds.items()}
     )
+    # Cache provenance (src_result/src_baseline/src_optimized): lets
+    # consumers tell simulated rows from cache-served ones instead of
+    # inferring it from zero phase walls.  getattr: results unpickled
+    # from caches written before the field existed.
+    row.update(
+        {
+            f"src_{layer}": src
+            for layer, src in (
+                getattr(result, "provenance", None) or {}
+            ).items()
+        }
+    )
     return row
 
 

@@ -88,6 +88,7 @@ from repro.errors import (
     WorkerCrashError,
     is_retryable,
 )
+from repro.cpu import engine as sim_engine
 from repro.frontend import columns
 from repro.harness import simcache
 from repro.harness.experiment import (
@@ -343,6 +344,7 @@ def _worker_init(
     fail_start: bool,
     column_backend: Optional[str] = None,
     utrace_payload: Optional[Dict[str, object]] = None,
+    cycle_backend: Optional[str] = None,
 ) -> None:
     simcache.configure(cache_dir=cache_dir, enabled=cache_enabled)
     if log_level != "off":
@@ -351,6 +353,10 @@ def _worker_init(
     # traces); a spawn-started worker must re-apply any programmatic
     # override (--numpy) the environment variables don't carry.
     columns.set_backend(column_backend)
+    # Same for the cycle-engine backend: a --sim-backend override lives
+    # in process state, not the environment.
+    if cycle_backend is not None:
+        sim_engine.set_sim_backend(cycle_backend)
     # Microarchitectural tracing configuration must survive spawn too;
     # worker-side trace files land in the same --out directory and the
     # artifact records ride back on the ExperimentResult.
@@ -589,6 +595,7 @@ def _new_pool(workers: int, epoch: int) -> ProcessPoolExecutor:
             fail_start,
             columns.backend(),
             utrace.encode(),
+            sim_engine.backend(),
         ),
     )
     _POOLS_STARTED.add()
@@ -675,6 +682,13 @@ def run_experiments(
         _JOBS_DISPATCHED.add(len(to_run))
         n = min(resolve_jobs(n_jobs), max(1, len(to_run)))
         if n <= 1 or len(to_run) <= 1:
+            # Sequential path: advance shared-trace cells' baselines in
+            # lock-step batches first (no-op under the reference engine
+            # or tracing); each cell then hits the baseline LRU.  The
+            # pool path instead fans baselines out across workers below.
+            from repro.harness import batchplan
+
+            batchplan.maybe_prewarm([job for _, job, _ in to_run])
             _run_sequential(to_run, policy, journal, degrade, results)
         else:
             with obs.span("parallel_grid", jobs=len(to_run), workers=n):

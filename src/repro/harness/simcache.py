@@ -223,6 +223,21 @@ class SimCache:
         _HITS.add()
         return payload
 
+    def contains(self, material: Any) -> bool:
+        """Whether an entry for ``material`` exists on disk.
+
+        A pure existence probe (no read, no validation, no counter
+        traffic): the batch planner uses it to decide which members of
+        a shared-trace group still need simulating, and a stale entry
+        discovered later simply degrades to an ordinary ``get`` miss.
+        """
+        if self.degraded:
+            return False
+        try:
+            return os.path.exists(self._path(self.key(material)))
+        except OSError:
+            return False
+
     def put(self, material: Any, payload: Any) -> str:
         """Store ``payload`` under ``material``'s key; returns the key.
 

@@ -46,6 +46,7 @@ class Cache:
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._n_sets = config.n_sets
         self._index_mask = self._n_sets - 1
+        self._index_bits = self._n_sets.bit_length() - 1
         # set index -> list of [tag, dirty] entries, LRU first.
         self._sets: List[List[List[int]]] = [[] for _ in range(self._n_sets)]
 
@@ -55,7 +56,7 @@ class Cache:
 
     def _split(self, addr: int) -> Tuple[int, int]:
         line = addr >> self._offset_bits
-        return line & self._index_mask, line >> (self._n_sets.bit_length() - 1)
+        return line & self._index_mask, line >> self._index_bits
 
     def probe(self, addr: int) -> bool:
         """Is the line containing ``addr`` resident?  No LRU update."""
@@ -64,17 +65,19 @@ class Cache:
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Look up ``addr``; return True on hit.  Misses do NOT fill."""
-        self.stats.accesses += 1
-        index, tag = self._split(addr)
-        ways = self._sets[index]
+        stats = self.stats
+        stats.accesses += 1
+        line = addr >> self._offset_bits
+        tag = line >> self._index_bits
+        ways = self._sets[line & self._index_mask]
         for i, entry in enumerate(ways):
             if entry[0] == tag:
                 ways.append(ways.pop(i))
                 if is_write:
                     entry[1] = 1
-                self.stats.hits += 1
+                stats.hits += 1
                 return True
-        self.stats.misses += 1
+        stats.misses += 1
         return False
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
@@ -97,7 +100,7 @@ class Cache:
             victim = ways.pop(0)
             if victim[1]:
                 self.stats.writebacks += 1
-                n_index_bits = self._n_sets.bit_length() - 1
+                n_index_bits = self._index_bits
                 victim_line = (
                     (victim[0] << n_index_bits | index) << self._offset_bits
                 )

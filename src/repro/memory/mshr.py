@@ -46,25 +46,33 @@ class MSHRFile:
     misses (the paper's Figure 3 "part-cov" bars).
     """
 
+    #: Cached-minimum sentinel: no outstanding entry.
+    _NO_FILL = 1 << 62
+
     def __init__(self, entries: int,
                  on_expire: Optional[ExpireHook] = None) -> None:
         self.entries = entries
         self.stats = MSHRStats()
         self.on_expire = on_expire
         self._outstanding: Dict[int, _Entry] = {}
+        # Earliest outstanding fill time; lets sync() -- called on every
+        # data access -- return without scanning the file when nothing
+        # can have landed yet.
+        self._next_fill = self._NO_FILL
 
     def sync(self, now: int) -> None:
         """Retire every entry whose fill time has passed, installing its
         line into the caches via ``on_expire``."""
-        if not self._outstanding:
+        if now < self._next_fill:
             return
+        outstanding = self._outstanding
         done: List[int] = [
             line
-            for line, entry in self._outstanding.items()
+            for line, entry in outstanding.items()
             if entry.fill_time <= now
         ]
         for line in done:
-            entry = self._outstanding.pop(line)
+            entry = outstanding.pop(line)
             if self.on_expire is not None:
                 self.on_expire(
                     line,
@@ -73,6 +81,10 @@ class MSHRFile:
                     entry.wants_l1,
                     entry.dirty,
                 )
+        self._next_fill = min(
+            (entry.fill_time for entry in outstanding.values()),
+            default=self._NO_FILL,
+        )
 
     def lookup(self, line: int, now: int) -> Optional[int]:
         """If ``line`` is outstanding at ``now``, return its fill time."""
@@ -116,6 +128,8 @@ class MSHRFile:
             self.stats.full_stalls += 1
             return False
         self._outstanding[line] = _Entry(fill_time, is_pthread, wants_l1, dirty)
+        if fill_time < self._next_fill:
+            self._next_fill = fill_time
         self.stats.allocations += 1
         return True
 

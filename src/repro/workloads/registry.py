@@ -42,6 +42,23 @@ def benchmark_names() -> Tuple[str, ...]:
     return BENCHMARK_NAMES
 
 
+# Programs are deterministic functions of (builder, input) and immutable
+# once built (isa.instruction docstring), but building one is not cheap:
+# the generators synthesize code and seed data structures.  A figure grid
+# asks for the same program dozens of times (baseline, augment, and every
+# sweep cell), so the registry memoizes instances.  Keyed by the builder
+# *function* and the resolved input parameters, not the benchmark name,
+# so re-registering a name (tests swap builders to prove
+# content-addressed caching) naturally misses.  Bounded by the
+# builder x input cross product, so no eviction is needed.
+_PROGRAM_MEMO: Dict[Tuple[object, object], Program] = {}
+
+
+def clear_program_memo() -> None:
+    """Drop memoized programs."""
+    _PROGRAM_MEMO.clear()
+
+
 def get_program(name: str, input_name: str = "train") -> Program:
     """Build benchmark ``name`` with the given input set ("train"/"ref")."""
     try:
@@ -50,4 +67,11 @@ def get_program(name: str, input_name: str = "train") -> Program:
         raise WorkloadError(
             f"unknown benchmark {name!r}; known: {', '.join(BENCHMARK_NAMES)}"
         ) from None
-    return builder(input_set(input_name, benchmark=name))
+    winput = input_set(input_name, benchmark=name)
+    memo_key = (builder, winput)
+    program = _PROGRAM_MEMO.get(memo_key)
+    if program is not None:
+        return program
+    program = builder(winput)
+    _PROGRAM_MEMO[memo_key] = program
+    return program

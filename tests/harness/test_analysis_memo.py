@@ -66,7 +66,11 @@ def _tiny_grid():
     tracestore.clear()
     clear_baseline_cache()
     return [
-        {k: v for k, v in row.items() if not k.startswith("t_")}
+        {
+            k: v
+            for k, v in row.items()
+            if not k.startswith("t_") and not k.startswith("src_")
+        }
         for row in figures.figure5_memory_latency(
             benchmarks=("gcc",),
             latencies=(100, 200),

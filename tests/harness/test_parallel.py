@@ -93,7 +93,14 @@ def test_baseline_keys_include_profile_input():
 
 
 def _strip_timings(row):
-    return {k: v for k, v in row.items() if not k.startswith("t_")}
+    # t_* walls and src_* provenance are telemetry: both legitimately
+    # depend on execution strategy (jobs, memo warmth, batch prewarm),
+    # never on results.
+    return {
+        k: v
+        for k, v in row.items()
+        if not k.startswith("t_") and not k.startswith("src_")
+    }
 
 
 def _grid():
