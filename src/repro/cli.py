@@ -371,6 +371,82 @@ def _parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="retry budget for the chaotic run "
                        "(default 8)")
+    chaos.add_argument("--server", action="store_true",
+                       help="server drill instead: kill -9 a faulted "
+                       "repro serve mid-grid, --resume it, verify every "
+                       "acknowledged job completes bit-identically")
+    chaos.add_argument("--kill-after", type=int, default=None,
+                       metavar="N",
+                       help="with --server: SIGKILL the server after N "
+                       "acknowledged submits (default 2: the first "
+                       "completes, the second dies in flight)")
+
+    serve = sub.add_parser(
+        "serve", parents=[obs_flags],
+        help="HTTP/JSON experiment service: async job queue over the "
+        "engine with crash-safe state",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="bind port; 0 picks a free one (default 8023)")
+    serve.add_argument("--state", metavar="DIR", default="serve_state",
+                       help="state directory for the accept ledger and "
+                       "completion journal (default ./serve_state)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="job worker threads (default: --jobs or 2)")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="admission-control queue depth bound; "
+                       "beyond it submits shed with 429 + Retry-After "
+                       "(default 64)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job deadline: jobs still "
+                       "queued after SECONDS fail instead of running "
+                       "(default: none)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="graceful-shutdown budget for in-flight "
+                       "jobs on SIGTERM/^C (default 30)")
+
+    loadtest = sub.add_parser(
+        "loadtest", parents=[obs_flags],
+        help="drive a repro server with a closed- or open-loop load "
+        "model and report throughput/latency/failure-rate",
+    )
+    loadtest.add_argument("--server", metavar="URL", default=None,
+                          help="server base URL (default: self-host an "
+                          "in-process server for the run)")
+    loadtest.add_argument("--mode", choices=("closed", "open"),
+                          default="closed",
+                          help="closed: N workers with one outstanding "
+                          "request each; open: fixed-rate arrivals "
+                          "regardless of completions (default closed)")
+    loadtest.add_argument("--requests", type=int, default=None,
+                          metavar="N", help="total requests to issue")
+    loadtest.add_argument("--concurrency", type=int, default=None,
+                          metavar="N",
+                          help="closed-loop worker count (default 3)")
+    loadtest.add_argument("--rate", type=float, default=2.0,
+                          metavar="RPS",
+                          help="open-loop arrival rate (default 2.0)")
+    loadtest.add_argument("--benchmarks", nargs="*", default=None)
+    loadtest.add_argument("--target", default="L",
+                          choices=sorted(_TARGETS))
+    loadtest.add_argument("--quick", action="store_true",
+                          help="CI smoke: one benchmark, 6 requests, "
+                          "concurrency 3")
+    loadtest.add_argument("--budget", type=float, default=None,
+                          metavar="SECONDS",
+                          help="latency budget for the report's "
+                          "max-concurrency math (default 60)")
+    loadtest.add_argument("--wait-timeout", type=float, default=180.0,
+                          metavar="SECONDS",
+                          help="per-request completion wait (default 180)")
+    loadtest.add_argument("--max-failure-rate", type=float, default=0.0,
+                          metavar="FRACTION",
+                          help="exit non-zero if failure_rate exceeds "
+                          "this (default 0.0; sheds are not failures)")
     return parser
 
 
@@ -522,7 +598,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    if getattr(args, "resume", False) and not getattr(args, "out", None):
+    if (
+        getattr(args, "resume", False)
+        and not getattr(args, "out", None)
+        and args.command != "serve"  # serve resumes from --state instead
+    ):
         print("error: --resume requires --out DIR", file=sys.stderr)
         return 2
 
@@ -781,7 +861,20 @@ def _dispatch(
         return 0
 
     if args.command == "chaos":
-        from repro.harness.chaos import run_chaos
+        from repro.harness.chaos import run_chaos, run_server_chaos
+
+        if args.server:
+            server_kwargs: Dict[str, object] = {
+                "benchmarks": args.benchmarks or None,
+                "specs": args.spec,
+                "quick": args.quick,
+            }
+            if args.kill_after:
+                server_kwargs["kill_after"] = args.kill_after
+            report = run_server_chaos(**server_kwargs)  # type: ignore[arg-type]
+            print(json.dumps(report, indent=1, sort_keys=True))
+            _write_artifacts(args, argv, [], server_chaos=report)
+            return 0 if report["ok"] else 1
 
         kwargs: Dict[str, object] = {
             "benchmarks": args.benchmarks or None,
@@ -802,7 +895,105 @@ def _dispatch(
         )
         return 0 if report["ok"] else 1
 
+    if args.command == "serve":
+        return _dispatch_serve(args)
+
+    if args.command == "loadtest":
+        from repro.server.loadtest import (
+            QUICK_BENCHMARKS,
+            QUICK_CONCURRENCY,
+            QUICK_REQUESTS,
+            run_loadtest,
+        )
+
+        requests = args.requests or (
+            QUICK_REQUESTS if args.quick else 12
+        )
+        concurrency = args.concurrency or QUICK_CONCURRENCY
+        benchmarks = args.benchmarks or (
+            list(QUICK_BENCHMARKS) if args.quick
+            else list(benchmark_names()[:2])
+        )
+        lt_kwargs: Dict[str, object] = {
+            "server_url": args.server,
+            "mode": args.mode,
+            "benchmarks": benchmarks,
+            "requests": requests,
+            "concurrency": concurrency,
+            "rate_rps": args.rate,
+            "wait_timeout_s": args.wait_timeout,
+            "target": args.target,
+        }
+        if args.budget:
+            lt_kwargs["latency_budget_s"] = args.budget
+        report = run_loadtest(**lt_kwargs)  # type: ignore[arg-type]
+        row = report["row"]
+        if args.json:
+            print(render_json_lines([row]))
+        else:
+            print(json.dumps(report, indent=1, sort_keys=True))
+        _write_artifacts(args, argv, [dict(row)], loadtest=report)
+        failure_rate = float(row.get("failure_rate", 1.0))
+        if failure_rate > args.max_failure_rate:
+            print(
+                f"error: failure_rate {failure_rate:.3f} exceeds "
+                f"--max-failure-rate {args.max_failure_rate:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _dispatch_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: bring the service up, run until SIGTERM/^C,
+    drain gracefully, exit 0."""
+    from repro.server import (
+        AdmissionController,
+        CircuitBreaker,
+        ExperimentServer,
+        JobQueue,
+        ServerState,
+    )
+
+    workers = args.workers or args.jobs or 2
+    state = ServerState(args.state)
+    pool_breaker = CircuitBreaker("pool")
+    cache_breaker = CircuitBreaker("simcache")
+    admission = AdmissionController(
+        max_queue_depth=args.max_queue,
+        workers=workers,
+        pool_breaker=pool_breaker,
+    )
+    queue = JobQueue(
+        state,
+        workers=workers,
+        admission=admission,
+        pool_breaker=pool_breaker,
+        cache_breaker=cache_breaker,
+        default_deadline_s=args.deadline,
+    )
+    server = ExperimentServer(
+        queue, host=args.host, port=args.port, drain_s=args.drain_timeout
+    )
+    resumed = server.start(resume=args.resume)
+    # The URL line is machine-parsed (tests, the chaos drill): keep the
+    # format stable and flush it before serve_forever blocks.
+    print(
+        f"serving on {server.url} (state: {args.state}, "
+        f"workers: {workers}, resumed: {resumed})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        # SIGTERM and ^C both land here (main() installs the handler):
+        # stop accepting, drain in-flight work, then exit cleanly.
+        pass
+    drained = server.shutdown_and_drain()
+    print(f"drained: {drained}", file=sys.stderr)
+    return 0
 
 
 def _dispatch_analytics(args: argparse.Namespace) -> int:

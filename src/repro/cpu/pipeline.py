@@ -875,7 +875,7 @@ class Pipeline:
         wall_start = time.perf_counter()
         # Progress heartbeats: only when debug telemetry is on, so the
         # disabled fast path costs one boolean test per iteration.
-        heartbeat = obs.is_enabled("debug")
+        heartbeat = obs.is_enabled("debug") or obs.has_taps()
         heartbeat_next = HEARTBEAT_CYCLES
         hb_last_wall = wall_start
         hb_last_cycles = 0

@@ -91,6 +91,23 @@ class FaultInjectedError(StructuredError):
     """
 
 
+class AdmissionRejectedError(StructuredError):
+    """The experiment server shed this request (queue full or a circuit
+    breaker open).  Maps to HTTP 429/503 with a ``Retry-After`` header;
+    retryable by definition -- that is what the header promises.
+
+    Context: ``reason``, ``retry_after_s``, ``queue_depth``.
+    """
+
+
+class JobCancelledError(StructuredError):
+    """A queued server job was cancelled before it ran.
+
+    Deterministically final: retrying a cancellation reproduces it.
+    Context: ``job_id``.
+    """
+
+
 class EnergyAuditError(StructuredError):
     """Per-event accumulated energy diverged from the closed-form E1-E8
     totals beyond the audit tolerance.
@@ -138,6 +155,8 @@ NON_RETRYABLE = (
     # retry replays the same deterministic simulation and fails again.
     EnergyAuditError,
     TraceExportError,
+    # A cancellation is an explicit, final decision about that job.
+    JobCancelledError,
 )
 
 

@@ -14,7 +14,12 @@ reproducible schedule:
 - ``worker.hang``     -- an experiment job sleeps forever (exercises
   per-job wall-clock timeouts);
 - ``pipeline.step``   -- the timing simulator crashes mid-simulation;
-- ``manifest.write``  -- writing run artifacts raises ``OSError``.
+- ``manifest.write``  -- writing run artifacts raises ``OSError``;
+- ``server.accept`` / ``queue.enqueue`` / ``server.respond`` -- the
+  experiment server drops a connection before parsing, fails an enqueue
+  before acknowledging, or drops the connection mid-response
+  (exercises admission control, exactly-once accept journaling, and
+  client retry behavior).
 
 A fault *draw* is a pure function of ``(seed, site, key)`` -- SHA-256
 hashed to a uniform sample in [0, 1) -- so the same plan over the same
@@ -35,6 +40,7 @@ import contextlib
 import errno
 import hashlib
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
@@ -50,6 +56,13 @@ SITES = (
     "worker.hang",
     "pipeline.step",
     "manifest.write",
+    # Experiment-server sites (repro serve): drop the connection before
+    # the request is parsed, fail the enqueue after admission but before
+    # the accept is acknowledged, and drop the connection while writing
+    # the response (the client never learns its request's fate).
+    "server.accept",
+    "queue.enqueue",
+    "server.respond",
 )
 
 ENV_VAR = "REPRO_FAULTS"
@@ -98,17 +111,25 @@ class FaultSpec:
         return f"{self.site}:{self.probability}:{self.seed}"
 
 
+def unit(material: str) -> float:
+    """A deterministic uniform sample in [0, 1) from ``material``.
+
+    The single source of pseudo-randomness for every robustness
+    mechanism that must replay identically across processes, retries,
+    and ``--resume``: fault draws here, retry-backoff jitter in
+    :class:`repro.harness.parallel.RetryPolicy`.
+    """
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
 def draw(spec: FaultSpec, key: object) -> bool:
     """The pure Bernoulli sample for ``(spec, key)``.
 
     Deterministic across processes and runs: hash the seed, site, and
     key to a uniform float and compare against the probability.
     """
-    digest = hashlib.sha256(
-        f"{spec.seed}|{spec.site}|{key}".encode()
-    ).digest()
-    sample = int.from_bytes(digest[:8], "big") / 2.0**64
-    return sample < spec.probability
+    return unit(f"{spec.seed}|{spec.site}|{key}") < spec.probability
 
 
 class FaultPlan:
@@ -153,8 +174,9 @@ class FaultPlan:
             seq = self._sequence.get(site, 0)
             self._sequence[site] = seq + 1
             key = seq
-        if _scope is not None:
-            key = f"{_scope}|{key}"
+        scope = current_scope()
+        if scope is not None:
+            key = f"{scope}|{key}"
         if not draw(spec, key):
             return False
         obs.counters.counter(f"faults.injected.{site}").add()
@@ -177,7 +199,14 @@ class FaultPlan:
 
 _plan: Optional[FaultPlan] = None
 _resolved = False
-_scope: Optional[str] = None
+#: Per-thread draw scope: the experiment server runs jobs on worker
+#: threads, so a process-global scope would let concurrent jobs clobber
+#: each other's draw keys.  Pool worker *processes* each set their own.
+_scope_local = threading.local()
+
+
+def current_scope() -> Optional[str]:
+    return getattr(_scope_local, "scope", None)
 
 
 @contextlib.contextmanager
@@ -187,14 +216,14 @@ def scoped(scope: Optional[str]) -> Iterator[None]:
     The parallel engine's workers scope each job to
     ``"<cell_key>:<attempt>"`` so that faults inside deterministic replays
     (the timing simulator re-reaching the same cycle, the cache re-reading
-    the same key) re-draw on retry instead of permafailing."""
-    global _scope
-    previous = _scope
-    _scope = scope
+    the same key) re-draw on retry instead of permafailing.  The scope is
+    thread-local: concurrent server worker threads each carry their own."""
+    previous = current_scope()
+    _scope_local.scope = scope
     try:
         yield
     finally:
-        _scope = previous
+        _scope_local.scope = previous
 
 SpecLike = Union[FaultSpec, str]
 
@@ -242,7 +271,15 @@ def encode_plan() -> List[str]:
 
 @contextlib.contextmanager
 def active(specs: Sequence[SpecLike]) -> Iterator[FaultPlan]:
-    """Temporarily install a plan (chaos runs and tests)."""
+    """Temporarily install a plan (chaos runs and tests).
+
+    This is the *only* supported way for library callers (the chaos
+    harness, the server test suite) to run under injected faults: the
+    previous plan -- including the unresolved environment-controlled
+    default -- is restored on exit, so a plan can never leak across
+    cases.  Plain :func:`configure` is for process setup (CLI, pool
+    worker initializers), which pairs it with :func:`reset`.
+    """
     global _plan, _resolved
     previous, previous_resolved = _plan, _resolved
     plan = configure(specs)
@@ -250,6 +287,16 @@ def active(specs: Sequence[SpecLike]) -> Iterator[FaultPlan]:
         yield plan
     finally:
         _plan, _resolved = previous, previous_resolved
+
+
+@contextlib.contextmanager
+def pristine() -> Iterator[None]:
+    """No injection while active, whatever the ambient plan or
+    environment says.  Chaos harnesses run their fault-free reference
+    grids under this, so a CLI ``--inject-fault`` (or a leaked test
+    plan) cannot poison the reference."""
+    with active([]):
+        yield
 
 
 # --------------------------------------------------------------------- #

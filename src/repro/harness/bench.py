@@ -233,6 +233,15 @@ def run_bench(
     }
     if injected:
         payload["resilience"]["injected"] = injected
+    # Server-side counters (admission sheds, breaker trips, recovered
+    # jobs) join the same section when a server ran in this process.
+    server = {
+        name.split("server.", 1)[1]: int(value)
+        for name, value in snapshot.items()
+        if name.startswith("server.")
+    }
+    if server:
+        payload["resilience"]["server"] = server
     return payload
 
 

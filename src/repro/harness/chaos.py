@@ -23,8 +23,14 @@ least one fault into the small grid so the run always exercises a retry.
 
 from __future__ import annotations
 
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults, obs
 from repro.faults import FaultSpec, draw
@@ -165,10 +171,14 @@ def run_chaos(
 
     with simcache.disabled():
         started = time.monotonic()
-        reference = run_experiments(
-            grid, n_jobs=jobs, policy=RetryPolicy(max_attempts=1),
-            journal=None, degrade=False,
-        )
+        # faults.pristine(): the reference grid must be fault-free even
+        # when the process carries an ambient plan (CLI --inject-fault,
+        # REPRO_FAULTS, or a leaked test plan).
+        with faults.pristine():
+            reference = run_experiments(
+                grid, n_jobs=jobs, policy=RetryPolicy(max_attempts=1),
+                journal=None, degrade=False,
+            )
         reference_wall_s = time.monotonic() - started
 
         before = obs.counters.snapshot()
@@ -250,6 +260,300 @@ def run_chaos(
                 "recoveries",
                 "injected",
                 "ok",
+            )
+        },
+    )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Server drill: kill -9 a faulted server mid-grid, resume, verify.
+
+#: Default server-side injection: drop connections before parse, fail
+#: enqueues after admission, drop connections after accept.  Moderate
+#: probabilities -- every site must fire sometimes, but the submit retry
+#: loop must converge quickly.
+DEFAULT_SERVER_SPECS = (
+    "server.accept:0.2:1",
+    "queue.enqueue:0.2:1",
+    "server.respond:0.2:1",
+)
+
+_SERVE_URL_RE = re.compile(
+    r"serving on (http://[^ ]+) \(.*resumed: (\d+)\)"
+)
+
+
+class _ServeProcess:
+    """A ``repro serve`` subprocess plus its parsed bind URL."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        specs: Sequence[str] = (),
+        resume: bool = False,
+        drain_s: float = 120.0,
+    ) -> None:
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--state", state_dir,
+            "--workers", "1",
+            "--no-sim-cache",
+            "--drain-timeout", str(drain_s),
+        ]
+        if resume:
+            cmd.append("--resume")
+        for spec in specs:
+            cmd += ["--inject-fault", spec]
+        env = dict(os.environ)
+        # Exercise the batched-fsync completion journal: a completion
+        # lost in the fsync window must recompute identically on resume.
+        env.setdefault("REPRO_JOURNAL_FSYNC_MS", "50")
+        self.proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+            start_new_session=True,
+        )
+        assert self.proc.stdout is not None
+        line = self.proc.stdout.readline()
+        match = _SERVE_URL_RE.search(line)
+        if not match:
+            self.proc.kill()
+            self.proc.wait()
+            raise RuntimeError(
+                f"repro serve did not announce its URL (got {line!r})"
+            )
+        self.url = match.group(1)
+        self.resumed = int(match.group(2))
+
+    def kill9(self) -> None:
+        self.proc.kill()
+        self.proc.wait()
+
+    def terminate(self, timeout_s: float = 150.0) -> int:
+        """SIGTERM and wait for the graceful-drain exit."""
+        self.proc.terminate()
+        try:
+            return self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait()
+
+
+def _submit_until_acked(
+    client: Any,
+    spec: Dict[str, Any],
+    deadline: float,
+) -> Tuple[Optional[str], int]:
+    """Retry one submit through drops and sheds until a 202 lands.
+
+    Returns ``(job_id, attempts)``; ``job_id`` is ``None`` only if the
+    deadline expired first.  Resubmitting after an *ambiguous* drop
+    (``server.respond`` fired after the accept was journaled) is safe by
+    design: the content-addressed dedup attaches the retry to the
+    already-accepted flight instead of re-running it.
+    """
+    attempts = 0
+    while time.monotonic() < deadline:
+        attempts += 1
+        response = client.submit(spec)
+        if response.status == 202:
+            return str(response.body["job_id"]), attempts
+        if response.status not in (0, 429, 503):
+            raise RuntimeError(
+                f"submit for {spec} got unexpected status "
+                f"{response.status}: {response.body}"
+            )
+        time.sleep(0.05)
+    return None, attempts
+
+
+def _journal_duplicate_keys(state_dir: str) -> List[str]:
+    """Cell keys journaled more than once -- exactly-once violations."""
+    path = os.path.join(state_dir, "journal.jsonl")
+    seen: Dict[str, int] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                except (ValueError, KeyError, TypeError):
+                    continue
+                seen[key] = seen.get(key, 0) + 1
+    except OSError:
+        return []
+    return sorted(k for k, n in seen.items() if n > 1)
+
+
+def run_server_chaos(
+    benchmarks: Optional[Sequence[str]] = None,
+    specs: Optional[Sequence[str]] = None,
+    kill_after: int = 2,
+    quick: bool = False,
+    timeout_s: float = 420.0,
+) -> Dict[str, object]:
+    """The server resilience drill: prove the exactly-once contract.
+
+    Phase 1 starts ``repro serve`` under connection-drop and enqueue
+    faults, submits the grid through a retry loop until ``kill_after``
+    jobs are acknowledged, then ``kill -9``\\ s the server.  Phase 2
+    restarts it with ``--resume`` (fault-free) and verifies:
+
+    - every phase-1 acknowledged job reaches DONE under its original ID
+      (zero lost),
+    - no cell key is journaled twice (zero duplicated completions),
+    - every row is bit-identical to a fault-free in-process reference,
+    - the restarted server drains cleanly on SIGTERM with exit 0.
+    """
+    from repro.server.client import ServerClient
+
+    if benchmarks is None:
+        count = QUICK_BENCHMARKS if quick else 3
+        benchmarks = BENCHMARK_NAMES[:count]
+    if specs is None:
+        specs = DEFAULT_SERVER_SPECS
+    submit_specs = [
+        {"benchmark": benchmark, "target": Target.LATENCY.label}
+        for benchmark in benchmarks
+    ]
+    kill_after = max(1, min(kill_after, len(submit_specs)))
+    deadline = time.monotonic() + timeout_s
+
+    # Fault-free reference rows, computed in this process.
+    grid = [ExperimentJob(b, target=Target.LATENCY) for b in benchmarks]
+    with simcache.disabled(), faults.pristine():
+        reference = run_experiments(
+            grid, policy=RetryPolicy(max_attempts=1), journal=None,
+            degrade=False,
+        )
+    reference_rows = {
+        spec["benchmark"]: _comparable(result_row(result))
+        for spec, result in zip(submit_specs, reference)
+    }
+
+    state_dir = tempfile.mkdtemp(prefix="repro-server-chaos-")
+    submit_attempts = 0
+
+    # Phase 1: faulted server, ack kill_after jobs, kill -9.  Before the
+    # kill, best-effort wait for the first job to complete, so the drill
+    # covers both recovery paths: a journaled completion resolving
+    # instantly post-resume, and an accepted-but-unfinished job
+    # re-running.
+    phase1 = _ServeProcess(state_dir, specs=specs)
+    acked: Dict[str, Dict[str, Any]] = {}
+    completed_before_kill = 0
+    try:
+        client = ServerClient(phase1.url, timeout_s=10.0)
+        for spec in submit_specs[:kill_after]:
+            job_id, attempts = _submit_until_acked(client, spec, deadline)
+            submit_attempts += attempts
+            if job_id is None:
+                raise RuntimeError(
+                    f"timed out acking {spec} under faults {specs}"
+                )
+            acked[job_id] = spec
+        first = next(iter(acked))
+        settle = min(deadline, time.monotonic() + 60.0)
+        while time.monotonic() < settle:
+            # Poll through the still-faulted server: drops and sheds
+            # are retried, only a real terminal answer ends the wait.
+            response = client.result(first)
+            if response.status == 200:
+                completed_before_kill = 1
+                # Let the batched-fsync journal reach the disk before
+                # the kill lands (REPRO_JOURNAL_FSYNC_MS=50).
+                time.sleep(0.2)
+                break
+            if response.status not in (0, 202, 429, 503):
+                break
+            time.sleep(0.1)
+    finally:
+        phase1.kill9()
+
+    # Phase 2: resume fault-free; every acked job must complete.
+    phase2 = _ServeProcess(state_dir, resume=True)
+    lost: List[str] = []
+    mismatched: List[Dict[str, object]] = []
+    failed: List[Dict[str, object]] = []
+    identical = 0
+    exit_code: Optional[int] = None
+    try:
+        client = ServerClient(phase2.url, timeout_s=10.0)
+        for spec in submit_specs[kill_after:]:
+            job_id, attempts = _submit_until_acked(client, spec, deadline)
+            submit_attempts += attempts
+            if job_id is None:
+                raise RuntimeError(f"timed out acking {spec} post-resume")
+            acked[job_id] = spec
+        for job_id, spec in acked.items():
+            remaining = max(1.0, deadline - time.monotonic())
+            final = client.wait(job_id, timeout_s=remaining)
+            if final.status == 404:
+                lost.append(job_id)
+                continue
+            if final.status != 200:
+                failed.append(
+                    {"job_id": job_id, "status": final.status,
+                     "body": final.body}
+                )
+                continue
+            row = _comparable(dict(final.body["row"]))
+            if row == reference_rows[spec["benchmark"]]:
+                identical += 1
+            else:
+                mismatched.append(
+                    {
+                        "job_id": job_id,
+                        "benchmark": spec["benchmark"],
+                        "reference": reference_rows[spec["benchmark"]],
+                        "server": row,
+                    }
+                )
+    finally:
+        exit_code = phase2.terminate()
+
+    duplicates = _journal_duplicate_keys(state_dir)
+    report: Dict[str, object] = {
+        "specs": list(specs),
+        "benchmarks": list(benchmarks),
+        "cells": len(submit_specs),
+        "kill_after": kill_after,
+        "acked": len(acked),
+        "completed_before_kill": completed_before_kill,
+        "submit_attempts": submit_attempts,
+        "resumed_jobs": phase2.resumed,
+        "lost_jobs": lost,
+        "failed_jobs": failed,
+        "identical_rows": identical,
+        "mismatched_rows": mismatched,
+        "duplicate_completions": duplicates,
+        "drain_exit_code": exit_code,
+        "state_dir": state_dir,
+        "ok": (
+            not lost
+            and not failed
+            and not mismatched
+            and not duplicates
+            and identical == len(acked)
+            and exit_code == 0
+        ),
+    }
+    obs.log_event(
+        "server_chaos_report",
+        level="info" if report["ok"] else "error",
+        **{
+            k: report[k]
+            for k in (
+                "cells", "acked", "submit_attempts", "resumed_jobs",
+                "identical_rows", "drain_exit_code", "ok",
             )
         },
     )

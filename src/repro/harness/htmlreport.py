@@ -229,11 +229,16 @@ def _header_section(data: RunData) -> str:
 
 
 def _results_section(data: RunData) -> str:
-    rows = [r for r in data.rows if not r.get("failed")]
-    failed = [r for r in data.rows if r.get("failed")]
-    if not data.rows:
+    # Load-test rows (identified by throughput_rps) render in their own
+    # section; keep the experiment-results table for experiment rows.
+    experiment_rows = [
+        r for r in data.rows if "throughput_rps" not in r
+    ]
+    rows = [r for r in experiment_rows if not r.get("failed")]
+    failed = [r for r in experiment_rows if r.get("failed")]
+    if not experiment_rows:
         return "<p class='muted'>no results.jsonl rows</p>"
-    seen = {k for row in data.rows for k in row}
+    seen = {k for row in experiment_rows for k in row}
     columns = [c for c in LEAD_COLUMNS if c in seen]
     columns += sorted(
         k for k in seen
@@ -353,6 +358,52 @@ def _energy_section(data: RunData) -> str:
     return note + legend + "".join(bars)
 
 
+#: Load-test columns shown first, in this order, when present.
+LOADTEST_LEAD_COLUMNS = (
+    "mode", "benchmark", "requests", "ok", "shed", "dropped", "failed",
+    "throughput_rps", "p50_latency_ms", "p95_latency_ms",
+    "failure_rate", "shed_rate",
+)
+
+
+def _loadtest_section(data: RunData) -> str:
+    rows = [r for r in data.rows if "throughput_rps" in r]
+    if not rows:
+        return (
+            "<p class='muted'>no load-test rows -- run "
+            "<code>repro loadtest</code> into this directory</p>"
+        )
+    seen = {k for row in rows for k in row}
+    columns = [c for c in LOADTEST_LEAD_COLUMNS if c in seen]
+    columns += sorted(
+        k for k in seen
+        if k not in columns
+        and k not in ("schema", "latency_budget_s",
+                      "max_concurrent_in_budget", "target")
+    )
+    out = _table(rows, columns)
+    # The latency-budget arithmetic: how many concurrent clients the
+    # observed tail latency supports inside a fixed response budget.
+    budgets = [
+        r for r in rows
+        if r.get("latency_budget_s") and r.get("p95_latency_ms")
+    ]
+    for row in budgets:
+        budget = float(row["latency_budget_s"])
+        p95_s = float(row["p95_latency_ms"]) / 1000.0
+        fit = row.get(
+            "max_concurrent_in_budget",
+            int(budget / p95_s) if p95_s > 0 else 0,
+        )
+        out += (
+            "<p class='muted'>latency budget: with p95 = "
+            f"{p95_s:.2f}s per request, a {budget:.0f}s budget "
+            f"sustains <b>{fit}</b> concurrent request(s) "
+            "(max_concurrent = budget / p95)</p>"
+        )
+    return out
+
+
 def _traces_section(data: RunData) -> str:
     if not data.summaries:
         return ""
@@ -454,6 +505,7 @@ def render_html(data: RunData, store_dir: Optional[str] = None) -> str:
         ("Phase timings", _phases_section(data)),
         ("Top-down stall attribution", _stalls_section(data)),
         ("Energy audit", _energy_section(data)),
+        ("Load test", _loadtest_section(data)),
         ("Timeline", _timeline_section(store_dir)),
     ]
     body = "".join(

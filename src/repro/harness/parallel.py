@@ -137,15 +137,17 @@ class RetryPolicy:
 
     def delay_for(self, attempt: int, key: str) -> float:
         """Backoff before retry number ``attempt`` (1-based), jittered
-        deterministically from the cell key so reruns are reproducible
-        and a burst of failed cells doesn't retry in lockstep."""
+        deterministically from the ``cell:attempt`` key -- the same
+        material :func:`repro.faults.scoped` mixes into fault draws --
+        so a ``--resume`` (or any rerun of the same cell) replays an
+        identical backoff schedule while a burst of failed cells still
+        doesn't retry in lockstep."""
         base = min(
             self.base_delay_s * (2.0 ** max(0, attempt - 1)),
             self.max_delay_s,
         )
-        digest = hashlib.sha256(f"{key}|{attempt}".encode()).digest()
-        unit = int.from_bytes(digest[:8], "big") / 2.0**64
-        return max(0.0, base * (1.0 + self.jitter * (2.0 * unit - 1.0)))
+        sample = faults.unit(f"backoff|{key}:{attempt}")
+        return max(0.0, base * (1.0 + self.jitter * (2.0 * sample - 1.0)))
 
 
 @dataclass

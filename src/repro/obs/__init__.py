@@ -30,11 +30,14 @@ from repro.obs.log import (
     LEVEL_NAMES,
     LEVELS,
     Span,
+    add_tap,
     configure,
     current_level,
     current_span_path,
+    has_taps,
     is_enabled,
     log_event,
+    remove_tap,
     reset,
     span,
 )
@@ -47,6 +50,7 @@ from repro.obs.manifest import (
 from repro.obs.metrics import (
     Counter,
     Gauge,
+    LatencyWindow,
     MetricsRegistry,
     counters,
     snapshot_delta,
@@ -57,17 +61,21 @@ __all__ = [
     "LEVEL_NAMES",
     "Counter",
     "Gauge",
+    "LatencyWindow",
     "MetricsRegistry",
     "RESULTS_SCHEMA_VERSION",
     "RunWriter",
     "Span",
+    "add_tap",
     "config_fingerprint",
     "configure",
     "counters",
     "current_level",
     "current_span_path",
+    "has_taps",
     "is_enabled",
     "log_event",
+    "remove_tap",
     "reset",
     "snapshot_delta",
     "span",

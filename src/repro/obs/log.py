@@ -52,6 +52,31 @@ class _State:
 _state = _State()
 _local = threading.local()  # per-thread span stack
 
+#: In-process event subscribers: each tap is called with the full
+#: record dict for *every* event, regardless of the log level threshold
+#: (a tap is an explicit subscription, not a verbosity setting).  The
+#: experiment server uses one to stream per-job heartbeat/ETA progress.
+_taps: list = []
+
+
+def add_tap(fn) -> None:
+    """Subscribe ``fn(record: dict)`` to every emitted event."""
+    if fn not in _taps:
+        _taps.append(fn)
+
+
+def remove_tap(fn) -> None:
+    try:
+        _taps.remove(fn)
+    except ValueError:
+        pass
+
+
+def has_taps() -> bool:
+    """Cheap pre-check event producers hoist out of hot loops (the
+    simulator heartbeat fires when debug logging *or* a tap wants it)."""
+    return bool(_taps)
+
 
 def configure(level: str = "info", stream: Optional[IO[str]] = None) -> None:
     """Enable telemetry at ``level``, optionally redirecting the sink.
@@ -97,8 +122,13 @@ def current_span_path() -> str:
 
 
 def log_event(event: str, level: str = "info", **fields: Any) -> None:
-    """Emit one JSON-lines event if ``level`` clears the threshold."""
-    if LEVELS.get(level, 0) < _state.threshold:
+    """Emit one JSON-lines event if ``level`` clears the threshold.
+
+    Registered taps receive the record regardless of the threshold; a
+    tap that raises is dropped silently (observation must never take
+    down the observed)."""
+    emit = LEVELS.get(level, 0) >= _state.threshold
+    if not emit and not _taps:
         return
     record: Dict[str, Any] = {
         "ts": round(time.time(), 6),
@@ -109,6 +139,13 @@ def log_event(event: str, level: str = "info", **fields: Any) -> None:
     if path:
         record["span"] = path
     record.update(fields)
+    for tap in list(_taps):
+        try:
+            tap(record)
+        except Exception:
+            remove_tap(tap)
+    if not emit:
+        return
     line = json.dumps(record, default=str, separators=(",", ":"))
     stream = _state.stream or sys.stderr
     with _state.lock:

@@ -164,6 +164,11 @@ class RunWriter:
         with open(self.results_path, "a", encoding="utf-8") as fh:
             fh.write(stable_json(record) + "\n")
 
+    def add_rows(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Record a batch of rows (see :meth:`add_row`)."""
+        for row in rows:
+            self.add_row(row)
+
     def _append_run_table(self) -> None:
         lead = [c for c in RUN_TABLE_LEAD_COLUMNS]
         extra = sorted(

@@ -45,6 +45,61 @@ class Gauge:
         self.value = value
 
 
+class LatencyWindow:
+    """A bounded ring of recent observations with percentile queries.
+
+    The experiment server's admission controller derives its
+    ``Retry-After`` from the observed p95 service time, and the load
+    harness summarizes per-request latencies the same way, so both read
+    from this one implementation.  Thread-safe: observations come from
+    handler/executor threads, percentiles from whoever is reporting.
+    """
+
+    __slots__ = ("capacity", "_values", "_next", "_count", "_lock")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("LatencyWindow capacity must be >= 1")
+        self.capacity = capacity
+        self._values = [0.0] * capacity
+        self._next = 0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values[self._next] = float(value)
+            self._next = (self._next + 1) % self.capacity
+            if self._count < self.capacity:
+                self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the window, by the
+        nearest-rank method; 0.0 while the window is empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            values = sorted(self._values[: self._count])
+        rank = max(1, -(-int(self._count * q) // 100))  # ceil
+        return values[min(rank, self._count) - 1]
+
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile of an arbitrary sequence (0.0 if empty)."""
+    window = LatencyWindow(capacity=max(1, len(values)))
+    for value in values:
+        window.observe(value)
+    return window.percentile(q)
+
+
 Metric = Union[Counter, Gauge]
 
 

@@ -1,0 +1,150 @@
+"""Circuit breakers: stop hammering a subsystem that keeps failing.
+
+A breaker guards one dependency (the worker pool, the simcache) with
+the classic three-state machine:
+
+- **closed**    -- everything flows; consecutive failures are counted.
+- **open**      -- after ``failure_threshold`` consecutive failures the
+  breaker trips: callers are rejected immediately (the server sheds
+  with 503 + ``Retry-After``) instead of queueing work into a broken
+  dependency.  After ``recovery_after_s`` the breaker half-opens.
+- **half-open** -- up to ``half_open_probes`` trial calls are admitted;
+  one success closes the breaker, one failure re-opens it (and restarts
+  the recovery clock).
+
+Every state transition increments an ``obs`` counter
+(``server.breaker.<name>.<transition>``) and emits a telemetry event,
+so the chaos report can account for the breaker's whole life.  The
+clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from repro import obs
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One named breaker; thread-safe (handler + executor threads)."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        recovery_after_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_after_s = recovery_after_s
+        self.half_open_probes = max(1, half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+
+    # ----------------------------------------------------------------- #
+
+    def _transition(self, state: str) -> None:
+        """Caller holds the lock."""
+        if state == self._state:
+            return
+        previous, self._state = self._state, state
+        obs.counters.counter(
+            f"server.breaker.{self.name}.{state}"
+        ).add()
+        obs.log_event(
+            "breaker_transition",
+            level="warning" if state == OPEN else "info",
+            breaker=self.name,
+            from_state=previous,
+            to_state=state,
+            consecutive_failures=self._consecutive_failures,
+        )
+
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_after_s
+        ):
+            self._probes_in_flight = 0
+            self._transition(HALF_OPEN)
+
+    # ----------------------------------------------------------------- #
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Half-open admits at most
+        ``half_open_probes`` concurrent trials."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                obs.counters.counter(
+                    f"server.breaker.{self.name}.rejected"
+                ).add()
+                return False
+            obs.counters.counter(
+                f"server.breaker.{self.name}.rejected"
+            ).add()
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, clock reset.
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def retry_after_s(self) -> float:
+        """How long a shed caller should wait before trying again."""
+        with self._lock:
+            if self._state != OPEN:
+                return 1.0
+            remaining = self.recovery_after_s - (
+                self._clock() - self._opened_at
+            )
+            return max(1.0, remaining)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+            }

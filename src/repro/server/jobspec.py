@@ -1,0 +1,141 @@
+"""The wire format for a submitted experiment.
+
+Clients describe a cell as a flat JSON object; the server turns it into
+an :class:`~repro.harness.parallel.ExperimentJob` deterministically, so
+the *spec* (not the job object) is what the accept journal persists --
+``repro serve --resume`` rebuilds bit-identical jobs from replayed
+specs.
+
+The spec surface mirrors the sweeps the harness already runs
+(:mod:`repro.harness.figures`): benchmark, selection target, input
+sets, and the paper's three sensitivity knobs (idle energy factor,
+memory latency, L2 geometry).  Unknown keys are rejected, not ignored:
+a typoed knob silently running the default configuration would poison
+the content-addressed dedup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.config import EnergyConfig, MachineConfig
+from repro.errors import ConfigError, WorkloadError
+from repro.harness.parallel import ExperimentJob
+from repro.pthsel.targets import Target
+from repro.workloads.registry import BENCHMARK_NAMES
+
+#: Every key a spec may carry.
+SPEC_KEYS = frozenset(
+    {
+        "benchmark",
+        "target",
+        "profile_input",
+        "run_input",
+        "include_branch_pthreads",
+        "idle_factor",
+        "memory_latency",
+        "l2_kb",
+        "l2_latency",
+        "tag",
+    }
+)
+
+_TARGET_LABELS = {t.label: t for t in Target}
+
+
+def normalize_spec(raw: Any) -> Dict[str, Any]:
+    """Validate a client-submitted spec and return its canonical form.
+
+    The canonical form drops keys at their defaults so that two specs
+    naming the same cell normalize identically (and therefore dedup and
+    journal identically).
+    """
+    if not isinstance(raw, dict):
+        raise ConfigError(
+            f"experiment spec must be a JSON object, got {type(raw).__name__}"
+        )
+    unknown = sorted(set(raw) - SPEC_KEYS)
+    if unknown:
+        raise ConfigError(
+            f"unknown spec key(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(SPEC_KEYS))})"
+        )
+    benchmark = raw.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        raise ConfigError("spec requires a 'benchmark' string")
+    if benchmark not in BENCHMARK_NAMES:
+        raise WorkloadError(
+            f"unknown benchmark {benchmark!r} "
+            f"(available: {', '.join(BENCHMARK_NAMES)})"
+        )
+    spec: Dict[str, Any] = {"benchmark": benchmark}
+
+    target = raw.get("target", Target.LATENCY.label)
+    if target not in _TARGET_LABELS:
+        raise ConfigError(
+            f"unknown target {target!r} "
+            f"(allowed: {', '.join(sorted(_TARGET_LABELS))})"
+        )
+    if target != Target.LATENCY.label:
+        spec["target"] = target
+
+    for key, default in (("profile_input", "train"), ("run_input", "train")):
+        value = raw.get(key, default)
+        if not isinstance(value, str) or not value:
+            raise ConfigError(f"spec key {key!r} must be a string")
+        if value != default:
+            spec[key] = value
+
+    if raw.get("include_branch_pthreads"):
+        spec["include_branch_pthreads"] = True
+
+    for key, kinds in (
+        ("idle_factor", (int, float)),
+        ("memory_latency", (int,)),
+        ("l2_kb", (int,)),
+        ("l2_latency", (int,)),
+    ):
+        if key not in raw or raw[key] is None:
+            continue
+        value = raw[key]
+        if isinstance(value, bool) or not isinstance(value, kinds):
+            raise ConfigError(
+                f"spec key {key!r} must be a number, got {value!r}"
+            )
+        spec[key] = value
+    if ("l2_kb" in spec) != ("l2_latency" in spec):
+        raise ConfigError("'l2_kb' and 'l2_latency' must be set together")
+
+    tag = raw.get("tag")
+    if tag is not None:
+        if not isinstance(tag, dict):
+            raise ConfigError("spec key 'tag' must be an object")
+        if tag:
+            spec["tag"] = {str(k): tag[k] for k in sorted(tag)}
+    return spec
+
+
+def job_from_spec(spec: Dict[str, Any]) -> ExperimentJob:
+    """Build the engine job a (normalized) spec describes."""
+    machine = None
+    if "memory_latency" in spec or "l2_kb" in spec:
+        machine = MachineConfig()
+        if "memory_latency" in spec:
+            machine = machine.with_memory_latency(int(spec["memory_latency"]))
+        if "l2_kb" in spec:
+            machine = machine.scaled_l2(
+                int(spec["l2_kb"]) * 1024, int(spec["l2_latency"])
+            )
+    energy = None
+    if "idle_factor" in spec:
+        energy = EnergyConfig().with_idle_factor(float(spec["idle_factor"]))
+    return ExperimentJob(
+        spec["benchmark"],
+        target=_TARGET_LABELS[spec.get("target", Target.LATENCY.label)],
+        profile_input=spec.get("profile_input", "train"),
+        run_input=spec.get("run_input", "train"),
+        machine=machine,
+        energy=energy,
+        include_branch_pthreads=bool(spec.get("include_branch_pthreads")),
+        tag=dict(spec.get("tag") or {}),
+    )

@@ -175,3 +175,20 @@ def test_scope_changes_draws():
     attempt1, attempt2 = fire("cell:1"), fire("cell:2")
     assert attempt1 != attempt2  # fresh samples per attempt
     assert attempt1 == fire("cell:1")  # but each attempt reproducible
+
+
+def test_pristine_suppresses_any_ambient_plan():
+    faults.configure(["worker.run:1"])
+    assert faults.should_fault("worker.run", key="x")
+    with faults.pristine():
+        assert not faults.should_fault("worker.run", key="x")
+        assert not faults.site_active("worker.run")
+    # The ambient plan is restored afterwards.
+    assert faults.should_fault("worker.run", key="x")
+
+
+def test_unit_is_a_stable_pure_function():
+    samples = [faults.unit(f"material-{i}") for i in range(64)]
+    assert samples == [faults.unit(f"material-{i}") for i in range(64)]
+    assert all(0.0 <= s < 1.0 for s in samples)
+    assert len(set(samples)) == 64  # distinct materials, distinct draws

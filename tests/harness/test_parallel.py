@@ -167,3 +167,42 @@ def test_baseline_cache_keyed_by_workload_content(monkeypatch):
     _, twolf_stats, _ = _baseline_sim("twolf", "train", machine, SIM)
     assert swapped_stats.cycles == twolf_stats.cycles
     clear_baseline_cache()
+
+
+# --------------------------------------------------------------------- #
+# Retry backoff jitter: deterministic, shared with the fault source
+
+
+def test_backoff_jitter_is_deterministic_per_cell_and_attempt():
+    from repro.harness.parallel import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.1, max_delay_s=2.0)
+    key = "somecellkey123"
+    first = [policy.delay_for(attempt, key) for attempt in (1, 2, 3, 4)]
+    again = [policy.delay_for(attempt, key) for attempt in (1, 2, 3, 4)]
+    assert first == again  # replays identically across calls/processes
+
+
+def test_backoff_jitter_derives_from_the_shared_unit_source():
+    from repro import faults
+    from repro.harness.parallel import RetryPolicy
+
+    policy = RetryPolicy(base_delay_s=0.1, max_delay_s=2.0, jitter=0.25)
+    key, attempt = "cellkey", 2
+    sample = faults.unit(f"backoff|{key}:{attempt}")
+    base = min(0.1 * 2.0 ** (attempt - 1), 2.0)
+    expected = base * (1.0 + 0.25 * (2.0 * sample - 1.0))
+    assert policy.delay_for(attempt, key) == pytest.approx(expected)
+
+
+def test_backoff_jitter_decorrelates_cells():
+    from repro.harness.parallel import RetryPolicy
+
+    policy = RetryPolicy(base_delay_s=0.1, max_delay_s=2.0, jitter=0.25)
+    delays_a = [policy.delay_for(a, "cell-a") for a in (1, 2, 3)]
+    delays_b = [policy.delay_for(a, "cell-b") for a in (1, 2, 3)]
+    assert delays_a != delays_b  # a thundering herd spreads out
+    for attempt, (a, b) in enumerate(zip(delays_a, delays_b), start=1):
+        base = min(0.1 * 2.0 ** (attempt - 1), 2.0)
+        for delay in (a, b):  # ...but stays inside the jitter band
+            assert base * 0.75 <= delay <= base * 1.25

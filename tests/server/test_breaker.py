@@ -1,0 +1,123 @@
+"""Circuit-breaker state machine, driven by an injectable clock."""
+
+from repro.server.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(**kwargs):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        "test",
+        failure_threshold=kwargs.pop("failure_threshold", 3),
+        recovery_after_s=kwargs.pop("recovery_after_s", 5.0),
+        clock=clock,
+        **kwargs,
+    )
+    return breaker, clock
+
+
+def test_closed_allows():
+    breaker, _ = _breaker()
+    assert breaker.state() == CLOSED
+    assert breaker.allow()
+
+
+def test_failures_below_threshold_stay_closed():
+    breaker, _ = _breaker(failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state() == CLOSED
+    assert breaker.allow()
+
+
+def test_threshold_opens_and_rejects():
+    breaker, _ = _breaker(failure_threshold=3)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state() == OPEN
+    assert not breaker.allow()
+
+
+def test_success_resets_failure_streak():
+    breaker, _ = _breaker(failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state() == CLOSED
+
+
+def test_retry_after_counts_down_with_clock():
+    breaker, clock = _breaker(failure_threshold=1, recovery_after_s=5.0)
+    breaker.record_failure()
+    assert breaker.retry_after_s() == 5.0
+    clock.advance(3.0)
+    assert breaker.retry_after_s() == 2.0
+    clock.advance(1.5)
+    # Never reports less than a second.
+    assert breaker.retry_after_s() == 1.0
+
+
+def test_half_open_after_recovery_window():
+    breaker, clock = _breaker(failure_threshold=1, recovery_after_s=5.0)
+    breaker.record_failure()
+    assert breaker.state() == OPEN
+    clock.advance(5.0)
+    assert breaker.state() == HALF_OPEN
+
+
+def test_half_open_admits_limited_probes():
+    breaker, clock = _breaker(
+        failure_threshold=1, recovery_after_s=5.0, half_open_probes=1
+    )
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # a second concurrent trial is rejected
+
+
+def test_probe_success_closes():
+    breaker, clock = _breaker(failure_threshold=1, recovery_after_s=5.0)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state() == CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_and_restarts_clock():
+    breaker, clock = _breaker(failure_threshold=1, recovery_after_s=5.0)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state() == OPEN
+    # The recovery clock restarted at the probe failure.
+    clock.advance(4.9)
+    assert breaker.state() == OPEN
+    clock.advance(0.2)
+    assert breaker.state() == HALF_OPEN
+
+
+def test_snapshot_shape():
+    breaker, _ = _breaker(failure_threshold=2)
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap == {
+        "name": "test",
+        "state": CLOSED,
+        "consecutive_failures": 1,
+        "failure_threshold": 2,
+    }

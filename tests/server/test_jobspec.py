@@ -1,0 +1,107 @@
+"""Spec normalization and job construction: the wire format must map
+deterministically onto engine jobs (the dedup key depends on it)."""
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.server.jobspec import SPEC_KEYS, job_from_spec, normalize_spec
+
+
+def test_defaults_dropped_for_canonical_form():
+    spec = normalize_spec(
+        {"benchmark": "gcc", "target": "L", "profile_input": "train",
+         "run_input": "train"}
+    )
+    assert spec == {"benchmark": "gcc"}
+
+
+def test_equivalent_specs_share_a_cell_key():
+    minimal = normalize_spec({"benchmark": "gcc"})
+    spelled = normalize_spec({"benchmark": "gcc", "target": "L"})
+    assert (
+        job_from_spec(minimal).cell_key()
+        == job_from_spec(spelled).cell_key()
+    )
+
+
+def test_knobs_change_the_cell_key():
+    base = job_from_spec(normalize_spec({"benchmark": "gcc"})).cell_key()
+    for knob in (
+        {"target": "E"},
+        {"idle_factor": 0.5},
+        {"memory_latency": 400},
+        {"l2_kb": 512, "l2_latency": 12},
+        {"include_branch_pthreads": True},
+    ):
+        spec = normalize_spec({"benchmark": "gcc", **knob})
+        assert job_from_spec(spec).cell_key() != base, knob
+
+
+def test_non_object_spec_rejected():
+    with pytest.raises(ConfigError):
+        normalize_spec(["benchmark", "gcc"])
+
+
+def test_unknown_keys_rejected_with_allowed_list():
+    with pytest.raises(ConfigError) as excinfo:
+        normalize_spec({"benchmark": "gcc", "benchmrak": "oops"})
+    message = str(excinfo.value)
+    assert "benchmrak" in message
+    for key in SPEC_KEYS:
+        assert key in message
+
+
+def test_unknown_benchmark_is_a_workload_error():
+    with pytest.raises(WorkloadError) as excinfo:
+        normalize_spec({"benchmark": "nosuch"})
+    assert "nosuch" in str(excinfo.value)
+    assert "gcc" in str(excinfo.value)  # lists what IS available
+
+
+def test_missing_benchmark_rejected():
+    with pytest.raises(ConfigError):
+        normalize_spec({})
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(ConfigError):
+        normalize_spec({"benchmark": "gcc", "target": "Z"})
+
+
+def test_l2_knobs_must_come_together():
+    with pytest.raises(ConfigError):
+        normalize_spec({"benchmark": "gcc", "l2_kb": 512})
+    with pytest.raises(ConfigError):
+        normalize_spec({"benchmark": "gcc", "l2_latency": 12})
+
+
+def test_bool_is_not_a_number():
+    with pytest.raises(ConfigError):
+        normalize_spec({"benchmark": "gcc", "idle_factor": True})
+
+
+def test_tag_canonicalized_sorted():
+    spec = normalize_spec(
+        {"benchmark": "gcc", "tag": {"b": 2, "a": 1}}
+    )
+    assert list(spec["tag"]) == ["a", "b"]
+    # An empty tag is a default and drops out entirely.
+    assert "tag" not in normalize_spec({"benchmark": "gcc", "tag": {}})
+
+
+def test_tag_must_be_an_object():
+    with pytest.raises(ConfigError):
+        normalize_spec({"benchmark": "gcc", "tag": "prod"})
+
+
+def test_job_from_spec_applies_knobs():
+    job = job_from_spec(
+        normalize_spec(
+            {"benchmark": "mcf", "target": "E", "idle_factor": 0.5,
+             "memory_latency": 400}
+        )
+    )
+    assert job.benchmark == "mcf"
+    assert job.target.label == "E"
+    assert job.machine.memory_latency == 400
+    assert job.energy.idle_factor == 0.5
