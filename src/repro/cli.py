@@ -186,8 +186,10 @@ def _parser() -> argparse.ArgumentParser:
         metavar="BACKEND",
         help="cycle-engine backend: reference (the oracle Pipeline), "
         "batched (merged-loop engine with shared per-trace precomputes; "
-        "default), or numpy (batched + vectorized precomputes); all are "
-        "bit-identical (REPRO_SIM_BACKEND also selects it)",
+        "default), numpy (batched + vectorized precomputes), or native "
+        "(compiled C cycle kernel; build with "
+        "`python -m repro.cpu.nativebuild`); all are bit-identical "
+        "(REPRO_SIM_BACKEND also selects it)",
     )
     obs_flags.add_argument(
         "--trace-window",
@@ -248,6 +250,10 @@ def _parser() -> argparse.ArgumentParser:
                        "(CI smoke mode)")
     bench.add_argument("--no-grid", action="store_true",
                        help="skip the figure-grid wall-time measurement")
+    bench.add_argument("--backend-walls", action="store_true",
+                       help="measure the sequential uncached grid once "
+                       "per available cycle-engine backend "
+                       "(backend_walls_s; always on in --quick)")
     bench.add_argument("--out-file", default=None, metavar="PATH",
                        help="also write the payload as JSON to PATH "
                        "(default: BENCH_<date>.json in the current "
@@ -707,11 +713,13 @@ def _dispatch(
             payload = profiler.runcall(
                 run_bench,
                 quick=args.quick, jobs=jobs, with_grid=not args.no_grid,
+                backend_walls=args.backend_walls or None,
             )
             profile_text = hotspot_table(profiler, limit=25)
         else:
             payload = run_bench(
-                quick=args.quick, jobs=jobs, with_grid=not args.no_grid
+                quick=args.quick, jobs=jobs, with_grid=not args.no_grid,
+                backend_walls=args.backend_walls or None,
             )
         print(json.dumps(payload, indent=1, sort_keys=True))
         if args.write or args.out_file:

@@ -277,13 +277,29 @@ def simulate_fast(
     pthreads: Optional[PThreadProgram] = None,
     warm: bool = True,
     vector: bool = False,
+    native: bool = False,
 ) -> SimStats:
     """Run one timing simulation on the merged-loop engine.
 
     Drop-in for :func:`repro.cpu.pipeline.simulate` with bit-identical
     results; ``vector=True`` additionally vectorizes the shared
-    precompute passes (the ``numpy`` backend).
+    precompute passes (the ``numpy`` backend); ``native=True`` routes
+    the cycle loop to the flat-array kernel
+    (:mod:`repro.cpu.kerneldriver`, the ``native`` backend) unless
+    instrumentation is active -- the heartbeat/tap/fault hooks live only
+    in this loop, and all engines are bit-identical so the fallback is
+    unobservable numerically.
     """
+    if native and not (
+        obs.is_enabled("debug")
+        or obs.has_taps()
+        or faults.site_active("pipeline.step")
+    ):
+        from repro.cpu import kerneldriver
+
+        return kerneldriver.simulate_kernel(
+            trace, config, pthreads, warm=warm, vector=vector, native=True
+        )
     cfg = config or MachineConfig()
     pth = pthreads or PThreadProgram()
     stats = SimStats()
@@ -1134,6 +1150,7 @@ def simulate_batch(
     pthreads: Optional[PThreadProgram] = None,
     warm: bool = True,
     vector: bool = False,
+    native: bool = False,
 ) -> List[SimStats]:
     """Advance one sealed trace through N machine configurations.
 
@@ -1145,6 +1162,8 @@ def simulate_batch(
     independently.  Results are positionally aligned with ``configs``.
     """
     return [
-        simulate_fast(trace, config, pthreads, warm=warm, vector=vector)
+        simulate_fast(
+            trace, config, pthreads, warm=warm, vector=vector, native=native
+        )
         for config in configs
     ]

@@ -1064,6 +1064,11 @@ def simulate(
         from repro.cpu import batch
 
         return batch.simulate_fast(
-            trace, config, pthreads, warm=warm, vector=name == "numpy"
+            trace,
+            config,
+            pthreads,
+            warm=warm,
+            vector=name == "numpy",
+            native=name == "native",
         )
     return Pipeline(trace, config, pthreads, warm=warm).run()

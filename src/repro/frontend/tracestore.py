@@ -47,16 +47,31 @@ def get_trace(program: Program, max_instructions: int) -> Tuple[Trace, float]:
     Returns ``(trace, build_seconds)``; ``build_seconds`` is 0.0 on a memo
     hit (nothing was built in this call).
     """
+    trace, build_seconds, _ = get_trace_tagged(program, max_instructions)
+    return trace, build_seconds
+
+
+def get_trace_tagged(
+    program: Program, max_instructions: int
+) -> Tuple[Trace, float, str]:
+    """:func:`get_trace` plus where the trace came from.
+
+    Returns ``(trace, build_seconds, src)`` with ``src`` either
+    ``"interpreted"`` (this call ran the interpreter; ``build_seconds``
+    measures it) or ``"memo"`` (served from the per-process store;
+    ``build_seconds`` is 0.0).  The tag is what lets bench cold-phase
+    rows explain a ``t_trace`` of zero.
+    """
     global _hits, _misses
     if not enabled():
         start = time.perf_counter()
         trace = interpret(program, max_instructions=max_instructions)
-        return trace, time.perf_counter() - start
+        return trace, time.perf_counter() - start, "interpreted"
     key = (program.fingerprint(), max_instructions)
     cached = _store.get(key)
     if cached is not None:
         _hits += 1
-        return cached, 0.0
+        return cached, 0.0, "memo"
     start = time.perf_counter()
     trace = interpret(program, max_instructions=max_instructions)
     build_seconds = time.perf_counter() - start
@@ -64,7 +79,7 @@ def get_trace(program: Program, max_instructions: int) -> Tuple[Trace, float]:
     if len(_store) >= _MAX_ENTRIES:
         _store.pop(next(iter(_store)))
     _store[key] = trace
-    return trace, build_seconds
+    return trace, build_seconds, "interpreted"
 
 
 def clear() -> None:

@@ -133,7 +133,9 @@ def prewarm(jobs: Iterable) -> Dict[str, object]:
         "cached": 0,
         "wall_s": 0.0,
     }
-    vector = engine.backend() == "numpy"
+    backend_name = engine.backend()
+    vector = backend_name == "numpy"
+    native = backend_name == "native"
     from repro.cpu.batch import simulate_batch
 
     for group in plan_batches(jobs):
@@ -166,6 +168,7 @@ def prewarm(jobs: Iterable) -> Dict[str, object]:
                 trace,
                 [member.machine for member in need],
                 vector=vector,
+                native=native,
             )
         for member, sim_stats in zip(need, results):
             experiment.adopt_baseline(

@@ -89,9 +89,16 @@ def bench_grid(
     jobs: Optional[int] = None,
     quick: bool = False,
     compare_sequential: bool = True,
+    backend_walls: Optional[bool] = None,
 ) -> Dict[str, object]:
-    """Wall-clock three ways through ``figure5_memory_latency``."""
+    """Wall-clock three ways through ``figure5_memory_latency``.
+
+    ``backend_walls`` forces (True) or suppresses (False) the
+    per-backend sequential-wall sweep; the default (None) measures it
+    in quick mode only, where re-running the grid per engine is cheap.
+    """
     kwargs = _grid_kwargs(quick)
+    measure_walls = quick if backend_walls is None else backend_walls
     out: Dict[str, object] = {
         "grid": "figure5_memory_latency",
         "quick": quick,
@@ -149,9 +156,11 @@ def bench_grid(
         # Per-backend walls over the same sequential uncached grid, so
         # the committed baseline pins every engine's speed -- a change
         # that only slows the engine nobody selected by default would
-        # otherwise sail through.  Quick mode only: re-running the full
-        # grid under the reference engine would multiply bench time.
-        if quick:
+        # otherwise sail through.  Quick mode by default: re-running the
+        # full grid under the reference engine multiplies bench time, so
+        # full-grid walls are opt-in (``repro bench --backend-walls``,
+        # used for the published BENCH_*.json speedup figures).
+        if measure_walls:
             active = sim_engine.backend()
             walls = {active: out["sequential_uncached_wall_s"]}
             for name in sim_engine.available_backends():
@@ -189,6 +198,7 @@ def run_bench(
     jobs: Optional[int] = None,
     with_grid: bool = True,
     compare_sequential: Optional[bool] = None,
+    backend_walls: Optional[bool] = None,
 ) -> Dict[str, object]:
     """Collect the full benchmark payload (simulator + grid timings)."""
     if compare_sequential is None:
@@ -210,7 +220,10 @@ def run_bench(
     }
     if with_grid:
         payload["figure_grid"] = bench_grid(
-            jobs=jobs, quick=quick, compare_sequential=compare_sequential
+            jobs=jobs,
+            quick=quick,
+            compare_sequential=compare_sequential,
+            backend_walls=backend_walls,
         )
     cache = simcache.get_cache()
     if cache is not None:

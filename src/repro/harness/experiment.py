@@ -76,9 +76,12 @@ class ExperimentResult:
     trace_artifacts: List[Dict[str, object]] = field(default_factory=list)
     #: Where each layer of this result came from -- ``result``:
     #: computed|simcache, ``baseline``: simulated|memo|batch|simcache,
-    #: ``optimized``: simulated|memo.  Rows expose these as ``src_*``
-    #: columns so cached cells are distinguishable from simulated ones
-    #: (the bench cold-phase report filters on them).
+    #: ``optimized``: simulated|memo, ``trace``: interpreted|memo (did
+    #: this run pay for interpretation, or was the trace served from the
+    #: per-process :mod:`repro.frontend.tracestore`?).  Rows expose
+    #: these as ``src_*`` columns so cached cells are distinguishable
+    #: from simulated ones (the bench cold-phase report filters on
+    #: them), and a ``t_trace`` of 0.0 is explainable.
     provenance: Dict[str, str] = field(default_factory=dict)
 
     @property
@@ -179,7 +182,10 @@ def _baseline_sim(
 
     The phase walls are 0.0 for work served from a cache (the LRU, the
     trace memo, or the persistent stats cache): they measure what *this
-    call* built, which is what the bench cold-path breakdown wants.
+    call* built, which is what the bench cold-path breakdown wants.  The
+    dict also carries ``src`` (where the *stats* came from) and
+    ``src_trace`` (``"interpreted"`` when this call ran the interpreter,
+    ``"memo"`` otherwise) so a zero wall is always explainable.
     """
     program = get_program(benchmark, input_name)
     program_fp = program.fingerprint()
@@ -193,7 +199,9 @@ def _baseline_sim(
         _CACHE_HITS.add()
         trace, stats = hit
         src = "batch" if key in _ADOPTED_KEYS else "memo"
-        return trace, stats, {"trace": 0.0, "sim": 0.0, "src": src}
+        return trace, stats, {
+            "trace": 0.0, "sim": 0.0, "src": src, "src_trace": "memo",
+        }
     _CACHE_MISSES.add()
     disk = None if tracing else simcache.get_cache()
     material = _baseline_material(
@@ -203,7 +211,9 @@ def _baseline_sim(
                   input=input_name) as sp:
         # The trace is machine-independent: the per-process memo shares it
         # across every (machine, target) cell of a sweep.
-        trace, t_trace = tracestore.get_trace(program, sim.max_instructions)
+        trace, t_trace, trace_src = tracestore.get_trace_tagged(
+            program, sim.max_instructions
+        )
         t_sim = 0.0
         src = "simcache"
         stats: Optional[SimStats] = None
@@ -229,7 +239,9 @@ def _baseline_sim(
         _ADOPTED_KEYS.discard(evicted)
         _CACHE_EVICTIONS.add()
     _BASELINE_CACHE[key] = (trace, stats)
-    return trace, stats, {"trace": t_trace, "sim": t_sim, "src": src}
+    return trace, stats, {
+        "trace": t_trace, "sim": t_sim, "src": src, "src_trace": trace_src,
+    }
 
 
 def warm_baseline(
@@ -488,6 +500,7 @@ def run_experiment(
         phase_seconds["baseline"] = sp.wall_s
         t_trace = base_phases["trace"]
         t_sim = base_phases["sim"]
+        src_trace = base_phases.get("src_trace", "memo")
 
         # Profile (possibly a different input) supplies the selection inputs.
         with obs.span("profile", input=profile_input) as sp:
@@ -504,6 +517,10 @@ def run_experiment(
                     )
                 t_trace += profile_phases["trace"]
                 t_sim += profile_phases["sim"]
+                if profile_phases.get("src_trace") == "interpreted":
+                    # t_trace includes the profile interpretation: the
+                    # row must not claim a pure memo hit.
+                    src_trace = "interpreted"
             profile_energy = model.evaluate(profile_stats.activity)
             estimates = BaselineEstimates(
                 ipc=profile_stats.ipc,
@@ -644,6 +661,7 @@ def run_experiment(
             "result": "computed",
             "baseline": base_phases.get("src", "simulated"),
             "optimized": "memo" if opt_cached else "simulated",
+            "trace": src_trace,
         },
     )
     if tracing:

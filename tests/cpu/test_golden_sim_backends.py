@@ -1,11 +1,14 @@
 """Golden bit-identity: every cycle-engine backend vs the reference.
 
-The batched and numpy engines (:mod:`repro.cpu.batch`) must be
-indistinguishable from the retained :class:`repro.cpu.pipeline.Pipeline`
-oracle everywhere downstream: full structural :class:`SimStats` equality
-(cycle/stall breakdowns, activity counters, missed-load sets, per-PC
-miss dicts) for baseline and p-thread-augmented runs over every seed
-benchmark, and identical figure rows through the whole harness.
+The batched and numpy engines (:mod:`repro.cpu.batch`) and the compiled
+native kernel (:mod:`repro.cpu.kerneldriver`) must be indistinguishable
+from the retained :class:`repro.cpu.pipeline.Pipeline` oracle everywhere
+downstream: full structural :class:`SimStats` equality (cycle/stall
+breakdowns, activity counters, missed-load sets, per-PC miss dicts) for
+baseline and p-thread-augmented runs over every seed benchmark, and
+identical figure rows through the whole harness.  ``native`` joins the
+matrix whenever the compiled artifact loads (a C compiler on PATH, or a
+cached build); environments without a toolchain skip just that column.
 """
 
 import pytest
@@ -33,12 +36,23 @@ from repro.workloads.registry import get_program
 
 HAVE_NUMPY = engine._np is not None
 
+try:
+    from repro.cpu import nativebuild
+
+    HAVE_NATIVE = nativebuild.native_available()
+except Exception:  # pragma: no cover - probe must never break the suite
+    HAVE_NATIVE = False
+
 #: Bit-identity does not depend on the instruction budget; a reduced one
-#: keeps the 9-benchmark x 3-backend matrix affordable.  The seed
+#: keeps the 9-benchmark x 4-backend matrix affordable.  The seed
 #: programs halt past this budget, so truncated traces are exercised.
 BUDGET = 60_000
 
-BACKENDS = ["reference", "batched"] + (["numpy"] if HAVE_NUMPY else [])
+BACKENDS = (
+    ["reference", "batched"]
+    + (["numpy"] if HAVE_NUMPY else [])
+    + (["native"] if HAVE_NATIVE else [])
+)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,171 @@
+"""The ``native`` cycle engine: selection, errors, and batch identity.
+
+Covers the backend-availability contract (requesting an unavailable
+engine raises :class:`ConfigError` naming the backend and the remedy;
+``available_backends()`` is the selectable set) and, where the compiled
+artifact loads, lock-step ``simulate_batch``/``batchplan`` equivalence
+with the ``batched`` engine.  Toolchain-less environments run the error
+paths and skip the compiled ones -- never fail.
+"""
+
+import pytest
+
+from repro.config import MachineConfig, SimulationConfig
+from repro.cpu import engine, nativebuild
+from repro.cpu.batch import simulate_batch, simulate_fast
+from repro.errors import ConfigError
+from repro.frontend import tracestore
+from repro.harness import batchplan, experiment, simcache
+from repro.harness.experiment import clear_baseline_cache, run_experiment
+from repro.pthsel.targets import Target
+from repro.workloads.registry import get_program
+
+HAVE_NATIVE = nativebuild.native_available()
+
+SIM = SimulationConfig(max_instructions=150_000)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    tracestore.clear()
+    clear_baseline_cache()
+    yield
+    engine.set_sim_backend(None)
+    nativebuild.reset_probe()
+    tracestore.clear()
+    clear_baseline_cache()
+
+
+@pytest.fixture()
+def _no_native(monkeypatch):
+    """Environment where the compiled kernel cannot load."""
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    nativebuild.reset_probe()
+    yield
+    nativebuild.reset_probe()
+
+
+class TestEngineErrors:
+    def test_unknown_backend_lists_legal_names(self):
+        with pytest.raises(ConfigError) as err:
+            engine.set_sim_backend("turbo")
+        assert "native" in str(err.value)
+        assert "batched" in str(err.value)
+
+    def test_native_unavailable_names_backend_and_remedy(self, _no_native):
+        with pytest.raises(ConfigError) as err:
+            engine.set_sim_backend("native")
+        message = str(err.value)
+        assert "native" in message
+        assert "python -m repro.cpu.nativebuild" in message
+
+    def test_env_resolution_raises_too(self, monkeypatch, _no_native):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "native")
+        engine.set_sim_backend(None)
+        with pytest.raises(ConfigError) as err:
+            engine.backend()
+        assert "REPRO_SIM_BACKEND=native" in str(err.value)
+
+    def test_numpy_unavailable_names_remedy(self, monkeypatch):
+        monkeypatch.setattr(engine, "_np", None)
+        with pytest.raises(ConfigError) as err:
+            engine.set_sim_backend("numpy")
+        assert "install numpy" in str(err.value)
+
+    def test_available_backends_excludes_unloadable(self, _no_native):
+        names = engine.available_backends()
+        assert "native" not in names
+        assert "reference" in names and "batched" in names
+
+    def test_cli_reports_unavailable_backend(self, _no_native, capsys):
+        from repro.cli import main
+
+        code = main(["list", "--sim-backend", "native"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "python -m repro.cpu.nativebuild" in captured.err
+
+    def test_native_error_reports_reason(self, _no_native):
+        assert not nativebuild.native_available()
+        assert "REPRO_NATIVE=0" in nativebuild.native_error()
+
+
+@pytest.mark.skipif(not HAVE_NATIVE, reason="compiled kernel unavailable")
+class TestNativeAvailable:
+    def test_probe_is_memoized(self):
+        first = nativebuild.load()
+        assert first is not None
+        assert nativebuild.load() is first
+        assert nativebuild.native_error() is None
+
+    def test_available_backends_includes_native(self):
+        assert "native" in engine.available_backends()
+
+    def test_simulate_batch_matches_per_config_batched(self):
+        program = get_program("mcf", "train")
+        trace, _ = tracestore.get_trace(program, SIM.max_instructions)
+        configs = [
+            MachineConfig(memory_latency=lat) for lat in (100, 200, 500)
+        ]
+        expected = [
+            simulate_fast(trace, config) for config in configs
+        ]
+        got = simulate_batch(trace, configs, native=True)
+        assert got == expected
+
+
+@pytest.mark.skipif(not HAVE_NATIVE, reason="compiled kernel unavailable")
+class TestNativePrewarm:
+    class _Job:
+        def __init__(self, benchmark, machine):
+            self._keys = [(benchmark, "train", machine, SIM)]
+
+        def baseline_keys(self):
+            return list(self._keys)
+
+    def _jobs(self):
+        return [
+            self._Job("mcf", MachineConfig(memory_latency=lat))
+            for lat in (100, 200)
+        ]
+
+    def test_prewarm_adoption_identical_to_batched(self):
+        # The prewarmed baselines under native must be the exact stats
+        # the batched engine adopts, and the per-cell experiment must
+        # still be served from the adopted baseline.
+        engine.set_sim_backend("batched")
+        with simcache.disabled():
+            batchplan.prewarm(self._jobs())
+            batched_rows = [
+                run_experiment(
+                    "mcf",
+                    target=Target.LATENCY,
+                    machine=MachineConfig(memory_latency=lat),
+                    sim=SIM,
+                )
+                for lat in (100, 200)
+            ]
+        tracestore.clear()
+        clear_baseline_cache()
+        engine.set_sim_backend("native")
+        with simcache.disabled():
+            stats = batchplan.prewarm(self._jobs())
+            assert stats["simulated"] == 2
+            for job in self._jobs():
+                for key in job.baseline_keys():
+                    assert experiment.baseline_cached(*key)
+            native_rows = [
+                run_experiment(
+                    "mcf",
+                    target=Target.LATENCY,
+                    machine=MachineConfig(memory_latency=lat),
+                    sim=SIM,
+                )
+                for lat in (100, 200)
+            ]
+        for batched_row, native_row in zip(batched_rows, native_rows):
+            assert native_row.provenance["baseline"] == "batch"
+            assert native_row.baseline == batched_row.baseline
+            assert native_row.optimized == batched_row.optimized
+            assert native_row.metrics == batched_row.metrics

@@ -158,8 +158,8 @@ def test_baseline_cache_is_lru_not_fifo(monkeypatch):
         experiment, "get_program", lambda b, i: _FakeProgram(b)
     )
     monkeypatch.setattr(
-        experiment.tracestore, "get_trace",
-        lambda program, max_instructions: (f"trace-{program}", 0.0),
+        experiment.tracestore, "get_trace_tagged",
+        lambda program, max_instructions: (f"trace-{program}", 0.0, "memo"),
     )
     monkeypatch.setattr(
         experiment, "simulate", lambda trace, machine: _FakeStats()
