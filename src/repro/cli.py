@@ -33,8 +33,17 @@ Every evaluation command accepts the global observability flags:
   rendered text table;
 - ``--out DIR``          write machine-readable artifacts into ``DIR``:
   ``manifest.json`` (provenance + config fingerprints + counters),
-  ``results.jsonl`` (one row per (benchmark, target)), and an
-  appendable ``run_table.csv``.
+  ``results.jsonl`` (one row per (benchmark, target)), an appendable
+  ``run_table.csv``, and -- when any trace spans were recorded --
+  ``spans.jsonl`` plus the Chrome trace-event waterfall
+  ``spans_chrome.json``;
+- ``--quiet``            suppress heartbeat/progress telemetry.
+
+Every command runs under a distributed trace context: ``repro serve``
+propagates it over HTTP (W3C-style ``Traceparent``) and into pool
+workers (``--pool N``), so one ``trace_id`` spans client, server and
+worker processes; ``repro top URL`` is the live terminal dashboard
+over a running server.
 
 the performance flags:
 
@@ -115,6 +124,12 @@ def _parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print result rows as JSON lines instead of text tables",
+    )
+    obs_flags.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress heartbeat/progress telemetry (and, for run, the "
+        "selection description)",
     )
     obs_flags.add_argument(
         "--out",
@@ -222,8 +237,6 @@ def _parser() -> argparse.ArgumentParser:
                      choices=("train", "ref"))
     run.add_argument("--branch-pthreads", action="store_true",
                      help="also select branch-outcome p-threads (Section 7)")
-    run.add_argument("--quiet", action="store_true",
-                     help="suppress the selection description")
 
     sub.add_parser("figure2", parents=[obs_flags],
                    help="N vs O breakdowns")
@@ -414,6 +427,24 @@ def _parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="graceful-shutdown budget for in-flight "
                        "jobs on SIGTERM/^C (default 30)")
+    serve.add_argument("--pool", type=int, default=None, metavar="N",
+                       help="run jobs in a persistent pool of N worker "
+                       "processes instead of the queue's threads, so "
+                       "distributed traces span client/server/worker "
+                       "(default: in-thread execution)")
+
+    top = sub.add_parser(
+        "top", parents=[obs_flags],
+        help="live terminal dashboard over a running server's "
+        "/v1/stats, /v1/jobs and Prometheus /metrics",
+    )
+    top.add_argument("server", metavar="URL",
+                     help="server base URL, e.g. http://127.0.0.1:8023")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh interval (default 2.0)")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame and exit (CI/scripts)")
 
     loadtest = sub.add_parser(
         "loadtest", parents=[obs_flags],
@@ -491,6 +522,11 @@ def _write_artifacts(
             "total_bytes": sum(int(a.get("bytes", 0)) for a in files),
             "files": files,
         })
+    spans = obs.tracectx.drain()
+    if spans:
+        trace_info = _write_trace_spans(args.out, spans)
+        if trace_info is not None:
+            extra.setdefault("trace", trace_info)
     try:
         faults.raise_os_if("manifest.write", key=args.command)
         writer = obs.RunWriter(
@@ -517,6 +553,41 @@ def _write_artifacts(
     print(f"wrote {len(rows)} rows to {args.out} "
           f"(manifest: {path})", file=sys.stderr)
     _auto_ingest(args)
+
+
+def _write_trace_spans(out_dir: str, spans: List[object]) -> Optional[Dict[str, object]]:
+    """Persist the command's drained trace spans under ``out_dir``:
+    ``spans.jsonl`` (one span per line; what analytics ingests) and the
+    validated Chrome trace-event waterfall ``spans_chrome.json``.
+    Returns the manifest stanza, or ``None`` on (logged) failure --
+    span artifacts must never fail a finished run."""
+    from repro.obs import export as obs_export
+
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        jsonl_path = os.path.join(out_dir, "spans.jsonl")
+        with open(jsonl_path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        chrome_name = "spans_chrome.json"
+        obs_export.write_span_trace(
+            os.path.join(out_dir, chrome_name), spans
+        )
+    except Exception as exc:
+        obs.log_event(
+            "trace_span_write_failed",
+            level="warning",
+            dir=out_dir,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+        return None
+    return {
+        "n_spans": len(spans),
+        "trace_ids": sorted({s.trace_id for s in spans}),
+        "spans_jsonl": "spans.jsonl",
+        "chrome": chrome_name,
+    }
 
 
 def _auto_ingest(args: argparse.Namespace) -> None:
@@ -574,6 +645,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if getattr(args, "log_level", "off") != "off":
         obs.configure(level=args.log_level)
+    if getattr(args, "quiet", False):
+        obs.set_quiet(True)
 
     if getattr(args, "cache_dir", None) or getattr(args, "no_sim_cache",
                                                    False):
@@ -672,8 +745,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError:  # pragma: no cover - non-main thread (tests)
         pass
 
+    # Every command runs under a fresh root trace context: spans from
+    # obs.Span instrumentation (and, via Traceparent propagation, from
+    # servers and pool workers this command talks to) share one
+    # trace_id and land in --out DIR as spans.jsonl + a Chrome trace.
+    obs.tracectx.set_process_label(
+        "server" if args.command == "serve" else "cli"
+    )
+    root_ctx = obs.tracectx.new_context()
     try:
-        with engine_options(policy=policy, journal=journal, degrade=True):
+        with obs.tracectx.activate(root_ctx), engine_options(
+            policy=policy, journal=journal, degrade=True
+        ):
             return _dispatch(args, argv, jobs)
     except KeyboardInterrupt:
         _write_artifacts(args, argv, [], interrupted=True)
@@ -686,6 +769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults.reset()
         if traced:  # same hygiene for the tracing configuration
             utrace.disable()
+        if getattr(args, "quiet", False):
+            obs.set_quiet(False)
 
 
 def _dispatch(
@@ -906,6 +991,15 @@ def _dispatch(
     if args.command == "serve":
         return _dispatch_serve(args)
 
+    if args.command == "top":
+        from repro.server.top import run_top
+
+        return run_top(
+            args.server,
+            interval_s=args.interval,
+            iterations=1 if args.once else None,
+        )
+
     if args.command == "loadtest":
         from repro.server.loadtest import (
             QUICK_BENCHMARKS,
@@ -940,7 +1034,15 @@ def _dispatch(
             print(render_json_lines([row]))
         else:
             print(json.dumps(report, indent=1, sort_keys=True))
-        _write_artifacts(args, argv, [dict(row)], loadtest=report)
+        # One summary row plus one row per request: the per-request
+        # rows carry trace_id, joining slow samples to server spans.
+        request_rows = [
+            {"request": i + 1, **sample}
+            for i, sample in enumerate(report["samples"])
+        ]
+        _write_artifacts(
+            args, argv, [dict(row)] + request_rows, loadtest=report
+        )
         failure_rate = float(row.get("failure_rate", 1.0))
         if failure_rate > args.max_failure_rate:
             print(
@@ -962,6 +1064,7 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
         CircuitBreaker,
         ExperimentServer,
         JobQueue,
+        PoolRunner,
         ServerState,
     )
 
@@ -974,9 +1077,17 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
         workers=workers,
         pool_breaker=pool_breaker,
     )
+    pool_runner = None
+    if args.pool:
+        pool_runner = PoolRunner(
+            workers=args.pool,
+            job_timeout_s=getattr(args, "job_timeout", None),
+        )
+        pool_runner.start()
     queue = JobQueue(
         state,
         workers=workers,
+        runner=pool_runner,
         admission=admission,
         pool_breaker=pool_breaker,
         cache_breaker=cache_breaker,
@@ -1000,6 +1111,8 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
         # stop accepting, drain in-flight work, then exit cleanly.
         pass
     drained = server.shutdown_and_drain()
+    if pool_runner is not None:
+        pool_runner.close()
     print(f"drained: {drained}", file=sys.stderr)
     return 0
 

@@ -491,7 +491,9 @@ def simulate_fast(
 
     safety_limit = 400 * n_main + 10_000_000
     wall_start = time.perf_counter()
-    heartbeat = obs.is_enabled("debug") or obs.has_taps()
+    heartbeat = (
+        obs.is_enabled("debug") or obs.has_taps()
+    ) and not obs.is_quiet()
     heartbeat_next = HEARTBEAT_CYCLES
     hb_last_wall = wall_start
     hb_last_cycles = 0

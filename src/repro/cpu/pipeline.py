@@ -873,9 +873,12 @@ class Pipeline:
         _debug_iter = 0
         _debug = bool(os.environ.get("REPRO_DEBUG_PIPELINE"))
         wall_start = time.perf_counter()
-        # Progress heartbeats: only when debug telemetry is on, so the
-        # disabled fast path costs one boolean test per iteration.
-        heartbeat = obs.is_enabled("debug") or obs.has_taps()
+        # Progress heartbeats: only when debug telemetry is on (and not
+        # silenced by --quiet), so the disabled fast path costs one
+        # boolean test per iteration.
+        heartbeat = (
+            obs.is_enabled("debug") or obs.has_taps()
+        ) and not obs.is_quiet()
         heartbeat_next = HEARTBEAT_CYCLES
         hb_last_wall = wall_start
         hb_last_cycles = 0

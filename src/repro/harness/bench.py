@@ -248,10 +248,12 @@ def run_bench(
         payload["resilience"]["injected"] = injected
     # Server-side counters (admission sheds, breaker trips, recovered
     # jobs) join the same section when a server ran in this process.
+    # Histograms store dict-valued state in the same registry; only the
+    # scalar counters belong in this summary.
     server = {
         name.split("server.", 1)[1]: int(value)
         for name, value in snapshot.items()
-        if name.startswith("server.")
+        if name.startswith("server.") and not isinstance(value, dict)
     }
     if server:
         payload["resilience"]["server"] = server

@@ -347,10 +347,15 @@ def _worker_init(
     column_backend: Optional[str] = None,
     utrace_payload: Optional[Dict[str, object]] = None,
     cycle_backend: Optional[str] = None,
+    quiet: bool = False,
 ) -> None:
     simcache.configure(cache_dir=cache_dir, enabled=cache_enabled)
     if log_level != "off":
         obs.configure(level=log_level)
+    # --quiet must silence heartbeats in the workers too, and exported
+    # spans should name the process that produced them.
+    obs.set_quiet(quiet)
+    obs.tracectx.set_process_label(f"pool-worker-{os.getpid()}")
     # Fork inherits the parent's trace-column backend (and memoized
     # traces); a spawn-started worker must re-apply any programmatic
     # override (--numpy) the environment variables don't carry.
@@ -407,16 +412,42 @@ def _describe_failure(exc: BaseException) -> _WorkerFailure:
 
 
 def _worker_experiment(
-    job: ExperimentJob, cell_key: str, attempt: int
+    job: ExperimentJob,
+    cell_key: str,
+    attempt: int,
+    trace: Optional[Dict[str, object]] = None,
 ) -> Tuple[
-    Optional[ExperimentResult], Optional[_WorkerFailure], Dict[str, float]
+    Optional[ExperimentResult],
+    Optional[_WorkerFailure],
+    Dict[str, float],
+    List[Dict[str, object]],
 ]:
+    """Run one job in a pool worker; returns ``(result, failure,
+    counter_delta, span_records)``.  ``trace`` is the submitting
+    context's encoded :class:`~repro.obs.tracectx.TraceContext`; spans
+    recorded under it ship home with the result exactly like counter
+    deltas (the worker runs one job at a time, so draining here cannot
+    steal another job's spans)."""
     before = obs.counters.snapshot()
-    try:
-        result = _execute_job(job, cell_key, attempt)
-    except Exception as exc:
-        return None, _describe_failure(exc), obs.counters.delta_since(before)
-    return result, None, obs.counters.delta_since(before)
+    ctx = obs.tracectx.decode(trace)
+    activation = (
+        obs.tracectx.activate(ctx)
+        if ctx is not None
+        else contextlib.nullcontext()
+    )
+    result: Optional[ExperimentResult] = None
+    failure: Optional[_WorkerFailure] = None
+    with activation:
+        try:
+            result = _execute_job(job, cell_key, attempt)
+        except Exception as exc:
+            failure = _describe_failure(exc)
+    spans = (
+        [s.to_dict() for s in obs.tracectx.drain()]
+        if ctx is not None
+        else []
+    )
+    return result, failure, obs.counters.delta_since(before), spans
 
 
 def _worker_warm(
@@ -485,6 +516,9 @@ def _journal_record(
             # Resume treats a traced cell as complete only while its
             # trace files exist (Journal.result_for checks these paths).
             meta["trace_artifacts"] = [a["path"] for a in arts]
+        trace_id = getattr(result, "trace_id", None)
+        if trace_id:
+            meta["trace_id"] = trace_id
         journal.record(key, result, **meta)
 
 
@@ -598,6 +632,7 @@ def _new_pool(workers: int, epoch: int) -> ProcessPoolExecutor:
             columns.backend(),
             utrace.encode(),
             sim_engine.backend(),
+            obs.is_quiet(),
         ),
     )
     _POOLS_STARTED.add()
@@ -858,7 +893,8 @@ def _run_pool(
                 started_at.setdefault(index, time.monotonic())
                 try:
                     future = pool.submit(
-                        _worker_experiment, job, key, attempt
+                        _worker_experiment, job, key, attempt,
+                        obs.tracectx.encode(obs.tracectx.current()),
                     )
                 except (BrokenProcessPool, RuntimeError):
                     pending.appendleft((index, job, key, attempt))
@@ -910,7 +946,7 @@ def _run_pool(
             for future in done:
                 flight = inflight.pop(future)
                 try:
-                    result, failure, delta = future.result()
+                    result, failure, delta, spans = future.result()
                 except BrokenProcessPool:
                     broken = True
                     crash = _WorkerFailure(
@@ -933,6 +969,9 @@ def _run_pool(
                     )
                     continue
                 obs.counters.merge(delta)
+                # Worker-side spans join the parent's recorder exactly
+                # like counter deltas: one waterfall per grid.
+                obs.tracectx.ingest(spans)
                 if failure is not None:
                     settle(
                         flight.index, flight.job, flight.key,

@@ -26,6 +26,7 @@ Typical harness usage::
     obs.counters.counter("harness.runs").add()
 """
 
+from repro.obs import tracectx
 from repro.obs.log import (
     LEVEL_NAMES,
     LEVELS,
@@ -36,9 +37,11 @@ from repro.obs.log import (
     current_span_path,
     has_taps,
     is_enabled,
+    is_quiet,
     log_event,
     remove_tap,
     reset,
+    set_quiet,
     span,
 )
 from repro.obs.manifest import (
@@ -50,6 +53,7 @@ from repro.obs.manifest import (
 from repro.obs.metrics import (
     Counter,
     Gauge,
+    Histogram,
     LatencyWindow,
     MetricsRegistry,
     counters,
@@ -61,6 +65,7 @@ __all__ = [
     "LEVEL_NAMES",
     "Counter",
     "Gauge",
+    "Histogram",
     "LatencyWindow",
     "MetricsRegistry",
     "RESULTS_SCHEMA_VERSION",
@@ -74,10 +79,13 @@ __all__ = [
     "current_span_path",
     "has_taps",
     "is_enabled",
+    "is_quiet",
     "log_event",
     "remove_tap",
     "reset",
+    "set_quiet",
     "snapshot_delta",
     "span",
     "stable_json",
+    "tracectx",
 ]

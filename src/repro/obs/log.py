@@ -26,6 +26,8 @@ import threading
 import time
 from typing import Any, Dict, IO, Optional
 
+from repro.obs import tracectx
+
 #: Numeric severity per level name; "off" is above everything.
 LEVELS: Dict[str, int] = {
     "debug": 10,
@@ -39,14 +41,18 @@ LEVEL_NAMES = tuple(LEVELS)
 
 
 class _State:
-    """Process-wide logger state (threshold + sink)."""
+    """Process-wide logger state (threshold + sink + quiet flag)."""
 
-    __slots__ = ("threshold", "stream", "lock")
+    __slots__ = ("threshold", "stream", "lock", "quiet")
 
     def __init__(self) -> None:
         self.threshold = LEVELS["off"]
         self.stream: Optional[IO[str]] = None  # None -> sys.stderr
         self.lock = threading.Lock()
+        #: ``--quiet``: suppresses *progress chatter* (simulator
+        #: heartbeats) without lowering the log threshold or touching
+        #: taps — the server's per-job streaming never sets it.
+        self.quiet = False
 
 
 _state = _State()
@@ -97,7 +103,18 @@ def reset() -> None:
     """Return to the off-by-default state (tests use this)."""
     _state.threshold = LEVELS["off"]
     _state.stream = None
+    _state.quiet = False
     _local.stack = []
+
+
+def set_quiet(flag: bool) -> None:
+    """Toggle progress-chatter suppression (``--quiet``)."""
+    _state.quiet = bool(flag)
+
+
+def is_quiet() -> bool:
+    """Should progress chatter (heartbeats) stay silent?"""
+    return _state.quiet
 
 
 def is_enabled(level: str = "info") -> bool:
@@ -161,7 +178,7 @@ class Span:
     for free.
     """
 
-    __slots__ = ("name", "fields", "wall_s", "path", "_t0")
+    __slots__ = ("name", "fields", "wall_s", "path", "_t0", "_trace")
 
     def __init__(self, name: str, **fields: Any) -> None:
         self.name = name
@@ -169,6 +186,7 @@ class Span:
         self.wall_s = 0.0
         self.path = name
         self._t0 = 0.0
+        self._trace = None
 
     def annotate(self, **fields: Any) -> "Span":
         """Attach extra fields reported on the span_end event."""
@@ -181,6 +199,8 @@ class Span:
             stack = _local.stack = []
         stack.append(self)
         self.path = "/".join(s.name for s in stack)
+        if tracectx.is_active():
+            self._trace = tracectx.start_span(self.name)
         if _state.threshold <= LEVELS["debug"]:
             log_event("span_begin", level="debug", name=self.name,
                       **self.fields)
@@ -192,6 +212,14 @@ class Span:
         stack = getattr(_local, "stack", [])
         if stack and stack[-1] is self:
             stack.pop()
+        if self._trace is not None:
+            attrs = {
+                k: v for k, v in self.fields.items()
+                if isinstance(v, (str, int, float, bool))
+            }
+            attrs["span_path"] = self.path
+            tracectx.finish_span(self.name, self._trace, attrs)
+            self._trace = None
         if _state.threshold <= LEVELS["info"]:
             fields = dict(self.fields)
             if exc_type is not None:

@@ -16,7 +16,8 @@ what its phases actually did.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Mapping, Union
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Union
 
 
 class Counter:
@@ -100,7 +101,131 @@ def percentile(values, q: float) -> float:
     return window.percentile(q)
 
 
-Metric = Union[Counter, Gauge]
+#: Fixed log-spaced latency bucket upper bounds (seconds), 1-2-5 per
+#: decade from 1 ms to 500 s.  Fixed bounds are what make histograms
+#: *mergeable*: a worker's delta adds bucket-for-bucket into the
+#: parent's histogram, exactly like counters.
+HISTOGRAM_BOUNDS: tuple = (
+    0.001, 0.002, 0.005,
+    0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with worker-delta merging.
+
+    Observations land in log-spaced buckets (:data:`HISTOGRAM_BOUNDS`
+    plus a final +Inf bucket).  The registry snapshots it as a
+    JSON-safe state dict ``{"buckets": [...], "sum": s, "count": n}``
+    so the existing snapshot/delta/merge machinery ships it across
+    process boundaries unchanged.  Thread-safe.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str, bounds=HISTOGRAM_BOUNDS) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def state(self) -> Dict[str, object]:
+        """JSON-safe snapshot: per-bucket counts (non-cumulative),
+        total sum and count."""
+        with self._lock:
+            return {
+                "buckets": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    #: Snapshot protocol: the registry reads ``metric.value``.
+    @property
+    def value(self) -> Dict[str, object]:
+        return self.state()
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Add another histogram's (delta) state bucket-for-bucket."""
+        buckets = list(state.get("buckets") or [])
+        with self._lock:
+            for i, n in enumerate(buckets[: len(self._counts)]):
+                self._counts[i] += int(n)
+            self._sum += float(state.get("sum") or 0.0)
+            self._count += int(state.get("count") or 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0..100) as the upper edge
+        of the bucket holding that rank -- within one bucket width of
+        the true value by construction.  0.0 while empty; the +Inf
+        bucket reports the largest finite bound."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = max(1, -(-int(total * q) // 100))  # ceil, nearest-rank
+        seen = 0
+        for i, n in enumerate(counts):
+            seen += n
+            if seen >= rank:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.bounds[-1]
+        return self.bounds[-1]
+
+
+def _is_histogram_state(value: object) -> bool:
+    return isinstance(value, Mapping) and "buckets" in value
+
+
+def _histogram_state_delta(
+    after: Mapping[str, object], before: Optional[Mapping[str, object]]
+) -> Dict[str, object]:
+    """Elementwise ``after - before`` for histogram state dicts."""
+    after_buckets = list(after.get("buckets") or [])
+    before_buckets: List[int] = []
+    before_sum = 0.0
+    before_count = 0
+    if before is not None and _is_histogram_state(before):
+        before_buckets = list(before.get("buckets") or [])
+        before_sum = float(before.get("sum") or 0.0)
+        before_count = int(before.get("count") or 0)
+    before_buckets += [0] * (len(after_buckets) - len(before_buckets))
+    return {
+        "buckets": [
+            int(a) - int(b) for a, b in zip(after_buckets, before_buckets)
+        ],
+        "sum": float(after.get("sum") or 0.0) - before_sum,
+        "count": int(after.get("count") or 0) - before_count,
+    }
+
+
+Metric = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
@@ -128,6 +253,17 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)  # type: ignore[return-value]
 
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Registered histograms by name (for exposition renderers)."""
+        return {
+            name: metric
+            for name, metric in sorted(self._metrics.items())
+            if isinstance(metric, Histogram)
+        }
+
     def snapshot(self) -> Dict[str, float]:
         """All metric values, sorted by name (counters as ints)."""
         return {
@@ -145,6 +281,12 @@ class MetricsRegistry:
             if isinstance(metric, Gauge):
                 if metric.value:
                     out[name] = metric.value
+            elif isinstance(metric, Histogram):
+                change = _histogram_state_delta(
+                    metric.state(), before.get(name)  # type: ignore[arg-type]
+                )
+                if change["count"]:
+                    out[name] = change  # type: ignore[assignment]
             else:
                 change = metric.value - before.get(name, 0)
                 if change:
@@ -161,10 +303,17 @@ class MetricsRegistry:
         parent touched the same code path.
         """
         for name, value in values.items():
+            if _is_histogram_state(value):
+                self.histogram(name).merge_state(value)  # type: ignore[arg-type]
+                continue
             metric = self._metrics.get(name)
             if metric is None:
                 metric = self.counter(name)
-            if isinstance(metric, Gauge):
+            if isinstance(metric, Histogram):
+                # A scalar arriving for a histogram name: treat it as
+                # one observation rather than corrupting the state.
+                metric.observe(float(value))
+            elif isinstance(metric, Gauge):
                 metric.set(value)
             else:
                 metric.add(value)
@@ -173,7 +322,10 @@ class MetricsRegistry:
         """Zero every metric but keep registrations (and cached refs) alive."""
         with self._lock:
             for metric in self._metrics.values():
-                metric.value = 0 if isinstance(metric, Counter) else 0.0
+                if isinstance(metric, Histogram):
+                    metric.reset()
+                else:
+                    metric.value = 0 if isinstance(metric, Counter) else 0.0
 
     def clear(self) -> None:
         """Drop all registrations (invalidates cached references)."""
@@ -193,6 +345,13 @@ def snapshot_delta(
     """
     delta: Dict[str, float] = {}
     for name, value in after.items():
+        if _is_histogram_state(value):
+            change = _histogram_state_delta(
+                value, before.get(name)  # type: ignore[arg-type]
+            )
+            if change["count"]:
+                delta[name] = change  # type: ignore[assignment]
+            continue
         change = value - before.get(name, 0)
         if change:
             delta[name] = change

@@ -1,0 +1,331 @@
+"""Prometheus text-format exposition (version 0.0.4) and a strict parser.
+
+:func:`render_prometheus` turns the :class:`~repro.obs.metrics.MetricsRegistry`
+into the plain-text scrape format: every counter becomes a
+``# TYPE ... counter`` sample with the conventional ``_total`` suffix,
+gauges stay bare, and each :class:`~repro.obs.metrics.Histogram`
+expands to cumulative ``_bucket{le="..."}`` samples plus ``_sum`` and
+``_count``.  Callers may append ad-hoc gauges (queue depth, breaker
+state) that live outside the registry.
+
+:func:`parse_prometheus_text` is the matching *strict* checker used by
+tests and the CI ``tracing-e2e`` job: it validates name syntax, TYPE
+declarations, float literals, bucket monotonicity, and the
+``+Inf``-bucket-equals-``_count`` invariant, raising
+:class:`PromFormatError` on the first violation.
+
+Zero dependencies, no actual Prometheus required — the point is that a
+real scraper *would* accept the output.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "PromFormatError",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
+]
+
+#: The Content-Type a text-format scrape endpoint must declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+class PromFormatError(ValueError):
+    """The exposition text violates the Prometheus text format."""
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted metric name (``server.queue.depth``) to a
+    legal Prometheus name (``server_queue_depth``)."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    if float(bound).is_integer():
+        return f"{bound:.1f}"
+    return repr(float(bound))
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    extra_gauges: Optional[Mapping[str, float]] = None,
+    help_text: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render ``registry`` (plus ``extra_gauges``) as exposition text.
+
+    ``help_text`` maps *internal* (dotted) names to ``# HELP`` strings;
+    names without an entry get a generated one.  Counter sample names
+    gain the ``_total`` suffix; the TYPE line uses the suffixed name as
+    the metric family name, as the format requires.
+    """
+    help_text = help_text or {}
+    lines: List[str] = []
+    seen: set = set()
+
+    def emit(family: str, kind: str, raw_name: str) -> None:
+        text = help_text.get(raw_name) or f"repro metric {raw_name}"
+        text = text.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family} {text}")
+        lines.append(f"# TYPE {family} {kind}")
+
+    metrics = dict(registry._metrics)  # snapshot of the mapping
+    for raw_name in sorted(metrics):
+        metric = metrics[raw_name]
+        base = sanitize_metric_name(raw_name)
+        if isinstance(metric, Histogram):
+            if base in seen:
+                continue
+            seen.add(base)
+            emit(base, "histogram", raw_name)
+            state = metric.state()
+            buckets = state["buckets"]
+            cumulative = 0
+            for bound, count in zip(metric.bounds, buckets):
+                cumulative += int(count)
+                lines.append(
+                    f'{base}_bucket{{le="{_format_bound(bound)}"}} '
+                    f"{cumulative}"
+                )
+            total = int(state["count"])
+            lines.append(f'{base}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{base}_sum {_format_value(float(state['sum']))}")
+            lines.append(f"{base}_count {total}")
+        elif isinstance(metric, Counter):
+            family = base if base.endswith("_total") else base + "_total"
+            if family in seen:
+                continue
+            seen.add(family)
+            emit(family, "counter", raw_name)
+            lines.append(f"{family} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if base in seen:
+                continue
+            seen.add(base)
+            emit(base, "gauge", raw_name)
+            lines.append(f"{base} {_format_value(metric.value)}")
+    for raw_name in sorted(extra_gauges or {}):
+        base = sanitize_metric_name(raw_name)
+        if base in seen:
+            continue
+        seen.add(base)
+        emit(base, "gauge", raw_name)
+        lines.append(
+            f"{base} {_format_value(float((extra_gauges or {})[raw_name]))}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Strict parser / validator
+# --------------------------------------------------------------------- #
+
+
+def _parse_float(text: str, lineno: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PromFormatError(
+            f"line {lineno}: invalid sample value {text!r}"
+        ) from None
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, Dict[str, object]]:
+    """Parse and validate exposition text.
+
+    Returns ``{family_name: {"type": ..., "samples": [(name, labels,
+    value), ...]}}``.  Raises :class:`PromFormatError` on: illegal
+    metric/label names, samples for histogram families without a TYPE
+    line, non-monotonic histogram buckets, a ``+Inf`` bucket count that
+    disagrees with ``_count``, duplicate TYPE declarations, or
+    unparseable values.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    typed: Dict[str, str] = {}
+
+    def family_for(sample_name: str) -> Optional[str]:
+        for fam in typed:
+            if sample_name == fam:
+                return fam
+            if typed[fam] == "histogram" and sample_name in (
+                fam + "_bucket", fam + "_sum", fam + "_count"
+            ):
+                return fam
+            if typed[fam] == "counter" and sample_name == fam:
+                return fam
+        return None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise PromFormatError(f"line {lineno}: malformed HELP line")
+            if not _NAME_RE.match(parts[2]):
+                raise PromFormatError(
+                    f"line {lineno}: illegal metric name {parts[2]!r}"
+                )
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise PromFormatError(f"line {lineno}: malformed TYPE line")
+            name, kind = parts[2], parts[3]
+            if not _NAME_RE.match(name):
+                raise PromFormatError(
+                    f"line {lineno}: illegal metric name {name!r}"
+                )
+            if kind not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise PromFormatError(
+                    f"line {lineno}: unknown metric type {kind!r}"
+                )
+            if name in typed:
+                raise PromFormatError(
+                    f"line {lineno}: duplicate TYPE for {name!r}"
+                )
+            typed[name] = kind
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise PromFormatError(f"line {lineno}: unparseable sample {raw!r}")
+        name = match.group("name")
+        value = _parse_float(match.group("value"), lineno)
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for lm in _LABEL_RE.finditer(label_text):
+                if not _LABEL_NAME_RE.match(lm.group("name")):
+                    raise PromFormatError(
+                        f"line {lineno}: illegal label name "
+                        f"{lm.group('name')!r}"
+                    )
+                labels[lm.group("name")] = lm.group("value")
+                consumed += 1
+            stripped = _LABEL_RE.sub("", label_text).replace(",", "").strip()
+            if stripped or consumed == 0:
+                raise PromFormatError(
+                    f"line {lineno}: malformed labels {label_text!r}"
+                )
+        fam = family_for(name)
+        if fam is None:
+            if name.endswith(("_bucket", "_sum", "_count")):
+                raise PromFormatError(
+                    f"line {lineno}: histogram-style sample {name!r} "
+                    "has no TYPE declaration"
+                )
+            fam = name
+            typed.setdefault(fam, "untyped")
+            families.setdefault(fam, {"type": "untyped", "samples": []})
+        families[fam]["samples"].append((name, labels, value))  # type: ignore[union-attr]
+
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: Dict[str, Dict[str, object]]) -> None:
+    for fam, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        samples: List[Tuple[str, Dict[str, str], float]] = (
+            info["samples"]  # type: ignore[assignment]
+        )
+        buckets: List[Tuple[float, float]] = []
+        count_value: Optional[float] = None
+        saw_sum = False
+        for name, labels, value in samples:
+            if name == fam + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    raise PromFormatError(
+                        f"histogram {fam!r}: bucket sample missing le label"
+                    )
+                bound = (
+                    math.inf if le == "+Inf" else _parse_float(le, 0)
+                )
+                buckets.append((bound, value))
+            elif name == fam + "_count":
+                count_value = value
+            elif name == fam + "_sum":
+                saw_sum = True
+        if not buckets:
+            raise PromFormatError(f"histogram {fam!r}: no bucket samples")
+        if count_value is None or not saw_sum:
+            raise PromFormatError(
+                f"histogram {fam!r}: missing _sum or _count"
+            )
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            raise PromFormatError(
+                f"histogram {fam!r}: bucket bounds out of order"
+            )
+        values = [v for _, v in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            raise PromFormatError(
+                f"histogram {fam!r}: bucket counts not cumulative"
+            )
+        if bounds[-1] != math.inf:
+            raise PromFormatError(
+                f"histogram {fam!r}: missing +Inf bucket"
+            )
+        if values[-1] != count_value:
+            raise PromFormatError(
+                f"histogram {fam!r}: +Inf bucket {values[-1]} != "
+                f"_count {count_value}"
+            )

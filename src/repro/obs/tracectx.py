@@ -1,0 +1,457 @@
+"""Distributed trace context: one ``trace_id`` across processes.
+
+A request entering through :class:`repro.server.client.ServerClient`
+must be followable through admission, queue wait, worker pickup, and
+the trace/analysis/sim phases — across three processes (client,
+server, pool worker).  This module is the substrate:
+
+- :class:`TraceContext` — W3C-trace-context-shaped identifiers
+  (``trace_id`` 32 hex chars, ``span_id`` 16, optional
+  ``parent_span_id``), minted from :func:`os.urandom`.
+- A **thread-local context stack**: :func:`activate` pushes a context
+  for a ``with`` block, :func:`current` reads the innermost one, and
+  :func:`is_active` is the cheap off-path check (one attribute read)
+  that keeps tracing free when nobody asked for it.
+- :class:`SpanRecord` — a finished span (name, ids, wall-clock start
+  and end, process label, thread id, attrs), JSON-safe via
+  ``to_dict``/``from_dict``.
+- A **process-global bounded recorder**: finished spans land in a
+  deque (:data:`MAX_RECORDED_SPANS`), drained by the CLI into
+  ``spans.jsonl`` or shipped across process boundaries (pool worker
+  -> parent, server -> client) exactly like obs-counter deltas, then
+  re-ingested with :func:`ingest`.
+- ``traceparent`` **header codec** (:func:`format_traceparent` /
+  :func:`parse_traceparent`) for the HTTP hop, and
+  :func:`encode`/:func:`decode` for job payloads.
+
+Everything here is stdlib-only and import-light: :mod:`repro.obs.log`
+imports this module during package init, so it must not import
+anything from :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "TraceContext",
+    "SpanRecord",
+    "new_context",
+    "child_context",
+    "activate",
+    "current",
+    "is_active",
+    "record",
+    "record_span",
+    "drain",
+    "peek",
+    "take",
+    "ingest",
+    "span_count",
+    "format_traceparent",
+    "parse_traceparent",
+    "encode",
+    "decode",
+    "set_process_label",
+    "process_label",
+    "start_span",
+    "finish_span",
+]
+
+#: Upper bound on buffered finished spans per process.  Tracing must
+#: never grow memory without bound on a long-lived server; the deque
+#: silently drops the oldest spans past this point.
+MAX_RECORDED_SPANS = 4096
+
+_TRACE_ID_LEN = 32
+_SPAN_ID_LEN = 16
+_HEX = frozenset("0123456789abcdef")
+
+
+class TraceContext:
+    """Identifiers for one node in a distributed trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_span_id: Optional[str] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, "
+            f"parent_span_id={self.parent_span_id!r})"
+        )
+
+    def child(self) -> "TraceContext":
+        """A fresh span id under the same trace, parented to this one."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_rand_hex(_SPAN_ID_LEN),
+            parent_span_id=self.span_id,
+        )
+
+
+def _rand_hex(n_chars: int) -> str:
+    return os.urandom(n_chars // 2).hex()
+
+
+def new_context() -> TraceContext:
+    """Mint a brand-new root trace context."""
+    return TraceContext(
+        trace_id=_rand_hex(_TRACE_ID_LEN),
+        span_id=_rand_hex(_SPAN_ID_LEN),
+        parent_span_id=None,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Thread-local activation stack
+# --------------------------------------------------------------------- #
+
+_local = threading.local()
+
+
+def _stack() -> List[TraceContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+class _Activation:
+    """``with activate(ctx):`` — push/pop on the thread-local stack."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: TraceContext) -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext:
+        _stack().append(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc: object) -> None:
+        stack = _stack()
+        if stack:
+            stack.pop()
+
+
+def activate(ctx: TraceContext) -> _Activation:
+    """Make ``ctx`` the current trace context for a ``with`` block."""
+    return _Activation(ctx)
+
+
+def current() -> Optional[TraceContext]:
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def is_active() -> bool:
+    """Cheap check used on hot paths before doing any span work."""
+    stack = getattr(_local, "stack", None)
+    return bool(stack)
+
+
+def child_context() -> Optional[TraceContext]:
+    """A child of the current context, or ``None`` when inactive."""
+    ctx = current()
+    return ctx.child() if ctx is not None else None
+
+
+# --------------------------------------------------------------------- #
+# Span records and the process-global recorder
+# --------------------------------------------------------------------- #
+
+
+class SpanRecord:
+    """One finished span, ready for export or cross-process shipping."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_span_id",
+        "start_s",
+        "end_s",
+        "process",
+        "tid",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_span_id: Optional[str],
+        start_s: float,
+        end_s: float,
+        process: str,
+        tid: int,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+        self.start_s = start_s
+        self.end_s = end_s
+        self.process = process
+        self.tid = tid
+        self.attrs = attrs or {}
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "process": self.process,
+            "tid": self.tid,
+        }
+        if self.attrs:
+            doc["attrs"] = self.attrs
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "SpanRecord":
+        return cls(
+            name=str(doc["name"]),
+            trace_id=str(doc["trace_id"]),
+            span_id=str(doc["span_id"]),
+            parent_span_id=(
+                str(doc["parent_span_id"])
+                if doc.get("parent_span_id")
+                else None
+            ),
+            start_s=float(doc["start_s"]),  # type: ignore[arg-type]
+            end_s=float(doc["end_s"]),  # type: ignore[arg-type]
+            process=str(doc.get("process", "unknown")),
+            tid=int(doc.get("tid", 0)),  # type: ignore[arg-type]
+            attrs=dict(doc.get("attrs") or {}),  # type: ignore[arg-type]
+        )
+
+
+_recorder_lock = threading.Lock()
+_recorded: Deque[SpanRecord] = deque(maxlen=MAX_RECORDED_SPANS)
+
+_process_label: Optional[str] = None
+
+
+def set_process_label(label: Optional[str]) -> None:
+    """Name this process in exported spans (e.g. ``client``,
+    ``server``, ``pool-worker-3``).  ``None`` reverts to the default
+    pid-derived label."""
+    global _process_label
+    _process_label = label
+
+
+def process_label() -> str:
+    return _process_label or f"pid-{os.getpid()}"
+
+
+def record(span: SpanRecord) -> None:
+    with _recorder_lock:
+        _recorded.append(span)
+
+
+def record_span(
+    name: str,
+    ctx: TraceContext,
+    start_s: float,
+    end_s: float,
+    attrs: Optional[Dict[str, object]] = None,
+) -> SpanRecord:
+    """Build a :class:`SpanRecord` for ``ctx`` and record it."""
+    span = SpanRecord(
+        name=name,
+        trace_id=ctx.trace_id,
+        span_id=ctx.span_id,
+        parent_span_id=ctx.parent_span_id,
+        start_s=start_s,
+        end_s=end_s,
+        process=process_label(),
+        tid=threading.get_ident(),
+        attrs=attrs,
+    )
+    record(span)
+    return span
+
+
+def drain() -> List[SpanRecord]:
+    """Remove and return every buffered span (oldest first)."""
+    with _recorder_lock:
+        out = list(_recorded)
+        _recorded.clear()
+    return out
+
+
+def peek() -> List[SpanRecord]:
+    with _recorder_lock:
+        return list(_recorded)
+
+
+def take(trace_id: str) -> List[SpanRecord]:
+    """Remove and return spans belonging to one trace, leaving the
+    rest buffered (the server collects per-job spans this way without
+    stealing a concurrent job's records)."""
+    with _recorder_lock:
+        mine = [s for s in _recorded if s.trace_id == trace_id]
+        if mine:
+            rest = [s for s in _recorded if s.trace_id != trace_id]
+            _recorded.clear()
+            _recorded.extend(rest)
+    return mine
+
+
+def ingest(spans: Iterable[object]) -> int:
+    """Re-record spans shipped from another process.  Accepts
+    :class:`SpanRecord` objects or their ``to_dict`` forms; returns
+    the count ingested.  Malformed entries are dropped (telemetry must
+    not take down the experiment), and spans already buffered (same
+    ``trace_id``/``span_id``) are skipped so re-delivered result
+    payloads do not duplicate the waterfall."""
+    with _recorder_lock:
+        seen = {(s.trace_id, s.span_id) for s in _recorded}
+    n = 0
+    for item in spans or ():
+        try:
+            span = (
+                item
+                if isinstance(item, SpanRecord)
+                else SpanRecord.from_dict(item)  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+        key = (span.trace_id, span.span_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        record(span)
+        n += 1
+    return n
+
+
+def span_count() -> int:
+    with _recorder_lock:
+        return len(_recorded)
+
+
+# --------------------------------------------------------------------- #
+# In-flight span helpers (used by repro.obs.log.Span)
+# --------------------------------------------------------------------- #
+
+
+def start_span(name: str) -> Optional[Tuple[TraceContext, float]]:
+    """Open a child span under the current context.  Returns an opaque
+    token for :func:`finish_span`, or ``None`` when tracing is
+    inactive.  The child context is pushed so nested spans parent to
+    this one."""
+    ctx = current()
+    if ctx is None:
+        return None
+    child = ctx.child()
+    _stack().append(child)
+    return (child, time.time())
+
+
+def finish_span(
+    name: str,
+    token: Optional[Tuple[TraceContext, float]],
+    attrs: Optional[Dict[str, object]] = None,
+) -> Optional[SpanRecord]:
+    """Close a span opened by :func:`start_span` and record it."""
+    if token is None:
+        return None
+    ctx, start_s = token
+    stack = _stack()
+    # Pop back to (and including) our context; tolerate a corrupted
+    # stack rather than raising inside telemetry.
+    while stack:
+        top = stack.pop()
+        if top is ctx:
+            break
+    return record_span(name, ctx, start_s, time.time(), attrs)
+
+
+# --------------------------------------------------------------------- #
+# Wire codecs
+# --------------------------------------------------------------------- #
+
+TRACEPARENT_HEADER = "Traceparent"
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """``00-<trace_id>-<span_id>-01`` (version 00, sampled)."""
+    return f"00-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def _is_hex(value: str, length: int) -> bool:
+    return len(value) == length and all(c in _HEX for c in value)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header.  Returns a context whose
+    ``span_id`` is the *remote caller's* span — spans opened under it
+    become that span's children.  Invalid headers yield ``None``
+    (never an error: a bad header must not fail the request)."""
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id = parts[0], parts[1], parts[2]
+    if version == "ff" or not _is_hex(version, 2):
+        return None
+    if not _is_hex(trace_id, _TRACE_ID_LEN) or trace_id == "0" * _TRACE_ID_LEN:
+        return None
+    if not _is_hex(span_id, _SPAN_ID_LEN) or span_id == "0" * _SPAN_ID_LEN:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def encode(ctx: Optional[TraceContext]) -> Optional[Dict[str, object]]:
+    """JSON-safe form for job payloads (pool worker initargs etc.)."""
+    if ctx is None:
+        return None
+    return {
+        "trace_id": ctx.trace_id,
+        "span_id": ctx.span_id,
+        "parent_span_id": ctx.parent_span_id,
+    }
+
+
+def decode(doc: Optional[Dict[str, object]]) -> Optional[TraceContext]:
+    if not doc:
+        return None
+    try:
+        return TraceContext(
+            trace_id=str(doc["trace_id"]),
+            span_id=str(doc["span_id"]),
+            parent_span_id=(
+                str(doc["parent_span_id"])
+                if doc.get("parent_span_id")
+                else None
+            ),
+        )
+    except (KeyError, TypeError):
+        return None

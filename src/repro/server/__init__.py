@@ -21,13 +21,19 @@ abuse*:
   and chaos drill drive;
 - :mod:`repro.server.loadtest`  -- open/closed-loop load generation
   emitting the mubench-style ``run_table.csv``
-  (``throughput_rps`` / ``p95_latency_ms`` / ``failure_rate``).
+  (``throughput_rps`` / ``p95_latency_ms`` / ``failure_rate``);
+- :mod:`repro.server.poolrunner` -- a persistent process-pool job
+  runner (``repro serve --pool N``) so served jobs execute out of
+  process and distributed traces span client/server/worker;
+- :mod:`repro.server.top`       -- the ``repro top`` terminal
+  dashboard over ``/v1/stats`` + ``/metrics``.
 """
 
 from repro.server.admission import AdmissionController
 from repro.server.app import ExperimentServer
 from repro.server.breaker import CircuitBreaker
 from repro.server.client import ServerClient
+from repro.server.poolrunner import PoolRunner
 from repro.server.queue import JobQueue, JobState
 from repro.server.state import ServerState
 
@@ -37,6 +43,7 @@ __all__ = [
     "ExperimentServer",
     "JobQueue",
     "JobState",
+    "PoolRunner",
     "ServerClient",
     "ServerState",
 ]

@@ -67,6 +67,9 @@ _RECOVERED = obs.counters.counter("server.queue.jobs_recovered")
 
 _CORRUPT = obs.counters.counter("harness.simcache.corrupt_entries")
 
+_WAIT_HIST = obs.counters.histogram("server.queue.wait_seconds")
+_SERVICE_HIST = obs.counters.histogram("server.queue.service_seconds")
+
 #: Events the tap buffers per job for the status endpoint.
 _STREAMED_EVENTS = frozenset({"sim_heartbeat"})
 
@@ -117,6 +120,18 @@ class JobRecord:
     events: Deque[Dict[str, Any]] = field(
         default_factory=lambda: deque(maxlen=EVENT_BUFFER)
     )
+    #: Monotonic per-job event sequence (``Last-Event-ID`` resume).
+    event_seq: int = 0
+    #: Encoded :class:`~repro.obs.tracectx.TraceContext` this job runs
+    #: under (None when the submit carried no traceparent).
+    trace: Optional[Dict[str, Any]] = None
+    #: Server/worker span records collected at completion, shipped to
+    #: the client on the result payload.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.get("trace_id") if self.trace else None
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe status view (no pickled result payload)."""
@@ -132,6 +147,8 @@ class JobRecord:
             "dedup_of": self.dedup_of,
             "events": list(self.events),
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
         if self.error is not None:
             out["error"] = self.error
         return out
@@ -145,11 +162,16 @@ class JobRecord:
             if isinstance(self.result, dict)
             else result_row(self.result)
         )
-        return {
+        out = {
             "job_id": self.job_id,
             "cell_key": self.cell_key,
             "row": row,
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.spans:
+            out["spans"] = list(self.spans)
+        return out
 
 
 Runner = Callable[[Any], Any]
@@ -192,6 +214,9 @@ class JobQueue:
         self._threads: List[threading.Thread] = []
         self._idle = threading.Condition(self._lock)
         self._running_count = 0
+        #: Notified on every buffered progress event and every terminal
+        #: transition; SSE tails block on it instead of polling.
+        self._events = threading.Condition(self._lock)
 
     # ------------------------------------------------------------- #
     # Lifecycle
@@ -231,6 +256,7 @@ class JobQueue:
                     submitted_at=float(record.get("ts", 0.0)),
                     _enqueued_mono=time.monotonic(),
                     deadline_s=self.default_deadline_s,
+                    trace=record.get("trace"),
                 )
                 self._jobs[job_id] = rec
                 self._attach_or_enqueue(rec)
@@ -278,6 +304,7 @@ class JobQueue:
         self,
         raw_spec: Any,
         deadline_s: Optional[float] = None,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> JobRecord:
         """Validate, admit, durably record, and enqueue one job.
 
@@ -310,7 +337,7 @@ class JobQueue:
             faults.raise_if("queue.enqueue", key=cell_key)
             job_id = f"job-{self._next_number:06d}"
             self._next_number += 1
-            self.state.record_accept(job_id, cell_key, spec)
+            self.state.record_accept(job_id, cell_key, spec, trace=trace)
             record = JobRecord(
                 job_id=job_id,
                 spec=spec,
@@ -322,6 +349,7 @@ class JobQueue:
                     if deadline_s is not None
                     else self.default_deadline_s
                 ),
+                trace=trace,
             )
             self._jobs[job_id] = record
             _SUBMITTED.add()
@@ -394,6 +422,7 @@ class JobQueue:
             record.state = JobState.CANCELLED
             record.finished_at = round(time.time(), 3)
             _CANCELLED.add()
+            self._events.notify_all()
             if record.dedup_of:
                 primary = self._jobs.get(record.dedup_of)
                 if primary and job_id in primary.attached:
@@ -412,21 +441,70 @@ class JobQueue:
         record = self._jobs.get(job_id)
         if record is None:
             return
-        record.events.append(
-            {
-                k: event[k]
-                for k in (
-                    "event",
-                    "ts",
-                    "progress_pct",
-                    "eta_s",
-                    "cycles",
-                    "committed",
-                    "wall_s",
-                )
-                if k in event
-            }
-        )
+        filtered = {
+            k: event[k]
+            for k in (
+                "event",
+                "ts",
+                "progress_pct",
+                "eta_s",
+                "cycles",
+                "committed",
+                "wall_s",
+            )
+            if k in event
+        }
+        # Sequence numbers are per job and never reused, so an SSE
+        # client reconnecting with Last-Event-ID resumes exactly after
+        # the last frame it saw -- even when the ring has rotated.
+        with self._events:
+            record.event_seq += 1
+            filtered["seq"] = record.event_seq
+            record.events.append(filtered)
+            self._events.notify_all()
+
+    # ------------------------------------------------------------- #
+    # Event streaming (SSE)
+
+    def events_since(
+        self, job_id: str, after_seq: int = 0
+    ) -> Optional[Tuple[List[Dict[str, Any]], bool]]:
+        """Buffered events with ``seq > after_seq`` plus a terminal
+        flag; ``None`` for an unknown job."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return None
+            fresh = [
+                dict(e) for e in record.events
+                if e.get("seq", 0) > after_seq
+            ]
+            return fresh, record.state in JobState.TERMINAL
+
+    def wait_events(
+        self, job_id: str, after_seq: int, timeout_s: float
+    ) -> Optional[Tuple[List[Dict[str, Any]], bool]]:
+        """Block until the job buffers an event past ``after_seq`` or
+        reaches a terminal state, bounded by ``timeout_s`` (returns
+        ``([], False)`` on timeout so SSE handlers can emit a keepalive
+        and re-check the connection)."""
+        deadline = time.monotonic() + timeout_s
+        with self._events:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None:
+                    return None
+                fresh = [
+                    dict(e) for e in record.events
+                    if e.get("seq", 0) > after_seq
+                ]
+                terminal = record.state in JobState.TERMINAL
+                if fresh or terminal:
+                    return fresh, terminal
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], False
+                self._events.wait(min(remaining, 0.25))
 
     def _worker_loop(self) -> None:
         while True:
@@ -475,6 +553,13 @@ class JobQueue:
             self._running_count += 1
             self._running_by_thread[threading.get_ident()] = job_id
         started = time.monotonic()
+        _WAIT_HIST.observe(max(0.0, started - record._enqueued_mono))
+        jctx = obs.tracectx.decode(record.trace)
+        activation = (
+            obs.tracectx.activate(jctx)
+            if jctx is not None
+            else contextlib.nullcontext()
+        )
         use_cache = self.cache_breaker.allow()
         if not use_cache:
             _CACHE_BYPASSED.add()
@@ -486,14 +571,18 @@ class JobQueue:
                 if use_cache
                 else simcache.disabled()
             )
-            with ctx:
+            with ctx, activation:
                 result = self._runner(job)
         except Exception as exc:  # noqa: BLE001 - classified below
+            _SERVICE_HIST.observe(time.monotonic() - started)
+            self._collect_trace(record, jctx)
             self._note_breakers(exc, use_cache, corrupt_before)
             with self._lock:
                 self._fail(record, exc)
         else:
             elapsed = time.monotonic() - started
+            _SERVICE_HIST.observe(elapsed)
+            self._collect_trace(record, jctx)
             self.pool_breaker.record_success()
             if use_cache:
                 if _CORRUPT.value > corrupt_before:
@@ -506,6 +595,7 @@ class JobQueue:
                 result,
                 benchmark=record.spec.get("benchmark"),
                 job_id=record.job_id,
+                trace_id=record.trace_id,
             )
             with self._lock:
                 self._complete(record, result)
@@ -513,6 +603,37 @@ class JobQueue:
             with self._lock:
                 self._running_by_thread.pop(threading.get_ident(), None)
                 self._running_count -= 1
+
+    def _collect_trace(
+        self, record: JobRecord, jctx: Optional[Any]
+    ) -> None:
+        """Synthesize the queue-level spans and gather everything this
+        job's trace recorded (including spans merged back from pool
+        workers) onto the record for client delivery."""
+        if jctx is None:
+            return
+        now = time.time()
+        queue_wait = jctx.child()
+        obs.tracectx.record_span(
+            "queue.wait",
+            queue_wait,
+            record.submitted_at,
+            record.started_at or now,
+            attrs={"job_id": record.job_id},
+        )
+        obs.tracectx.record_span(
+            "job",
+            jctx,
+            record.submitted_at,
+            now,
+            attrs={
+                "job_id": record.job_id,
+                "cell_key": record.cell_key,
+            },
+        )
+        record.spans = [
+            s.to_dict() for s in obs.tracectx.take(jctx.trace_id)
+        ]
 
     def _note_breakers(
         self, exc: Exception, use_cache: bool, corrupt_before: int
@@ -546,8 +667,10 @@ class JobQueue:
                 continue
             rec.state = JobState.DONE
             rec.result = result
+            rec.spans = list(record.spans)
             rec.finished_at = round(time.time(), 3)
             _COMPLETED.add()
+        self._events.notify_all()
         obs.log_event(
             "server_job_done",
             level="info",
@@ -569,6 +692,7 @@ class JobQueue:
             rec.error = dict(error)
             rec.finished_at = round(time.time(), 3)
             _FAILED.add()
+        self._events.notify_all()
         obs.log_event(
             "server_job_failed",
             level="warning",

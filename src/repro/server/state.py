@@ -89,9 +89,18 @@ class ServerState:
                 ) from exc
 
     def record_accept(
-        self, job_id: str, cell_key: str, spec: Dict[str, Any]
+        self,
+        job_id: str,
+        cell_key: str,
+        spec: Dict[str, Any],
+        trace: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Durably remember an accepted job *before* it is acknowledged."""
+        """Durably remember an accepted job *before* it is acknowledged.
+
+        ``trace`` (the encoded trace context, when the submit carried a
+        traceparent) persists with the accept so a ``--resume``-ed job
+        keeps its distributed-trace lineage across the crash.
+        """
         record = {
             "schema": ACCEPT_SCHEMA,
             "op": "accept",
@@ -100,6 +109,8 @@ class ServerState:
             "spec": spec,
             "ts": round(time.time(), 3),
         }
+        if trace:
+            record["trace"] = trace
         self._append(record)
         self._accepted[job_id] = record
         _ACCEPTS.add()

@@ -1,0 +1,215 @@
+"""``repro top``: a curses-free terminal dashboard for a running server.
+
+Polls ``/v1/stats``, ``/v1/jobs``, and the Prometheus ``/metrics``
+exposition, and renders one plain-text frame per interval: queue and
+admission state, breaker health, per-phase latency quantiles (from the
+histogram buckets), and the most recent jobs with live progress/ETA.
+ANSI clear-screen between frames; ``--once`` prints a single frame (CI
+and scripts).  Rendering is pure (:func:`render_frame`), so tests
+exercise it without a terminal or a server.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import prom
+from repro.server.client import ServerClient
+
+#: Phase histogram families surfaced on the dashboard, in print order.
+_PHASE_FAMILIES = (
+    ("queue wait", "server_queue_wait_seconds"),
+    ("service", "server_queue_service_seconds"),
+    ("trace", "harness_phase_trace_seconds"),
+    ("analysis", "harness_phase_analysis_seconds"),
+    ("sim", "harness_phase_sim_seconds"),
+)
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _histogram_quantiles(
+    family: Dict[str, Any]
+) -> Optional[Dict[str, float]]:
+    """p50/p95 + count from one parsed histogram family's cumulative
+    ``_bucket`` samples."""
+    buckets: List[tuple] = []
+    count = 0.0
+    for name, labels, value in family.get("samples", ()):
+        if name.endswith("_bucket"):
+            le = labels.get("le", "+Inf")
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets.append((bound, value))
+        elif name.endswith("_count"):
+            count = value
+    if not buckets or count <= 0:
+        return None
+    buckets.sort(key=lambda bv: bv[0])
+    out = {"count": count}
+    for label, q in (("p50", 0.50), ("p95", 0.95)):
+        rank = q * count
+        chosen = buckets[-1][0]
+        for bound, cumulative in buckets:
+            if cumulative >= rank:
+                chosen = bound
+                break
+        if chosen == float("inf"):
+            # Report the largest finite bound rather than "inf".
+            finite = [b for b, _ in buckets if b != float("inf")]
+            chosen = finite[-1] if finite else 0.0
+        out[label] = chosen
+    return out
+
+
+def _fmt_eta(value: Any) -> str:
+    if value is None:
+        return "-"
+    try:
+        return f"{float(value):.0f}s"
+    except (TypeError, ValueError):
+        return "-"
+
+
+def render_frame(
+    stats: Dict[str, Any],
+    jobs: List[Dict[str, Any]],
+    metrics_text: str = "",
+    url: str = "",
+    max_jobs: int = 12,
+) -> str:
+    """One dashboard frame from the three endpoint payloads (pure)."""
+    lines: List[str] = []
+    title = "repro top"
+    if url:
+        title += f" -- {url}"
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    by_state = stats.get("jobs", {})
+    lines.append(
+        "queue: depth={depth} running={running} draining={draining}  "
+        "jobs: {states}".format(
+            depth=stats.get("queued_depth", 0),
+            running=stats.get("running", 0),
+            draining=stats.get("draining", False),
+            states=" ".join(
+                f"{state}={n}" for state, n in sorted(by_state.items())
+            ) or "none",
+        )
+    )
+    admission = stats.get("admission", {})
+    lines.append(
+        "admission: p95_service={p95}s completions={n} "
+        "max_depth={depth} workers={workers}".format(
+            p95=admission.get("p95_service_s", 0.0),
+            n=admission.get("observed_completions", 0),
+            depth=admission.get("max_queue_depth", 0),
+            workers=admission.get("workers", 0),
+        )
+    )
+    breakers = stats.get("breakers", [])
+    if breakers:
+        lines.append(
+            "breakers: "
+            + "  ".join(
+                "{name}={state} (fails={n}/{limit})".format(
+                    name=b.get("name", "?"),
+                    state=b.get("state", "?"),
+                    n=b.get("consecutive_failures", 0),
+                    limit=b.get("failure_threshold", 0),
+                )
+                for b in breakers
+            )
+        )
+
+    if metrics_text:
+        try:
+            families = prom.parse_prometheus_text(metrics_text)
+        except prom.PromFormatError:
+            families = {}
+        phase_lines = []
+        for label, family_name in _PHASE_FAMILIES:
+            family = families.get(family_name)
+            if not family:
+                continue
+            quantiles = _histogram_quantiles(family)
+            if quantiles is None:
+                continue
+            phase_lines.append(
+                f"  {label:<10} p50<={quantiles['p50']:g}s "
+                f"p95<={quantiles['p95']:g}s "
+                f"n={int(quantiles['count'])}"
+            )
+        if phase_lines:
+            lines.append("phase latency (histogram upper bounds):")
+            lines.extend(phase_lines)
+
+    lines.append("")
+    lines.append(
+        f"{'JOB':<12} {'STATE':<10} {'PROGRESS':>8} {'ETA':>6}  TRACE"
+    )
+    recent = sorted(
+        jobs, key=lambda j: j.get("submitted_at") or 0.0, reverse=True
+    )[:max_jobs]
+    for job in recent:
+        events = job.get("events") or []
+        last = events[-1] if events else {}
+        progress = last.get("progress_pct")
+        lines.append(
+            "{job_id:<12} {state:<10} {progress:>8} {eta:>6}  {trace}".format(
+                job_id=str(job.get("job_id", "?"))[:12],
+                state=str(job.get("state", "?")),
+                progress=(
+                    f"{progress:.1f}%" if progress is not None else "-"
+                ),
+                eta=_fmt_eta(last.get("eta_s")),
+                trace=str(job.get("trace_id", "") or "")[:16],
+            )
+        )
+    if not recent:
+        lines.append("(no jobs)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    out=None,
+) -> int:
+    """Poll the server and redraw until interrupted (or for
+    ``iterations`` frames).  Returns a process exit code."""
+    import sys
+
+    stream = out or sys.stdout
+    client = ServerClient(url)
+    drawn = 0
+    try:
+        while True:
+            stats_resp = client.stats()
+            if not stats_resp.ok:
+                stream.write(
+                    f"repro top: cannot reach {url} "
+                    f"(status {stats_resp.status} "
+                    f"{stats_resp.transport_error or ''})\n"
+                )
+                return 1
+            jobs_resp = client.jobs()
+            metrics_resp = client.metrics()
+            frame = render_frame(
+                stats_resp.body,
+                jobs_resp.body.get("jobs", []),
+                metrics_resp.text,
+                url=url,
+            )
+            if iterations is None:
+                stream.write(_CLEAR)
+            stream.write(frame)
+            stream.flush()
+            drawn += 1
+            if iterations is not None and drawn >= iterations:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0

@@ -1,8 +1,13 @@
-"""Tests for the counters/gauges registry."""
+"""Tests for the counters/gauges/histograms registry."""
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry, snapshot_delta
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    snapshot_delta,
+)
 
 
 def test_counter_get_or_create_identity():
@@ -104,3 +109,110 @@ def test_snapshot_delta_roundtrip_through_merge():
     parent.counter("a").add(1)
     parent.merge(delta)
     assert parent.snapshot()["a"] == 8
+
+
+# --------------------------------------------------------------------- #
+# Histograms.
+
+
+#: A latency sample set spanning several decades of the fixed bounds,
+#: including edge values that land exactly on bucket boundaries.
+_SAMPLES = [
+    0.0004, 0.001, 0.0017, 0.004, 0.009, 0.02, 0.02, 0.11, 0.3, 0.5,
+    0.77, 1.2, 2.0, 4.9, 9.0, 30.0, 120.0, 1000.0,
+]
+
+
+def test_histogram_observe_counts_and_state_shape():
+    h = Histogram("lat")
+    for s in _SAMPLES:
+        h.observe(s)
+    state = h.state()
+    assert len(state["buckets"]) == len(HISTOGRAM_BOUNDS) + 1
+    assert sum(state["buckets"]) == len(_SAMPLES) == state["count"]
+    assert state["sum"] == pytest.approx(sum(_SAMPLES))
+    # The overflow (+Inf) bucket caught the 1000s outlier.
+    assert state["buckets"][-1] == 1
+
+
+def test_histogram_worker_delta_merge_across_jobs_equals_sequential():
+    # The parallel engine's contract: each of jobs=4 workers observes
+    # its shard, ships delta_since(before), and the parent merge must
+    # equal one sequential registry observing everything -- bucket for
+    # bucket, not just in total.
+    sequential = MetricsRegistry()
+    seq_hist = sequential.histogram("harness.phase.sim_seconds")
+    for s in _SAMPLES:
+        seq_hist.observe(s)
+
+    parent = MetricsRegistry()
+    shards = [_SAMPLES[i::4] for i in range(4)]
+    assert all(shards)  # jobs=4 really split the work
+    for shard in shards:
+        worker = MetricsRegistry()
+        before = worker.snapshot()
+        for s in shard:
+            worker.histogram("harness.phase.sim_seconds").observe(s)
+        parent.merge(worker.delta_since(before))
+
+    merged = parent.histogram("harness.phase.sim_seconds").state()
+    expect = seq_hist.state()
+    assert merged["buckets"] == expect["buckets"]
+    assert merged["count"] == expect["count"]
+    assert merged["sum"] == pytest.approx(expect["sum"])
+
+
+def test_histogram_delta_drops_unmoved_and_merge_is_incremental():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    h.observe(0.5)
+    before = reg.snapshot()
+    assert reg.delta_since(before) == {}  # unmoved histogram: dropped
+    h.observe(3.0)
+    delta = reg.delta_since(before)
+    assert delta["lat"]["count"] == 1  # only the new observation
+    other = MetricsRegistry()
+    other.merge(delta)
+    assert other.histogram("lat").state()["count"] == 1
+
+
+def test_histogram_quantile_within_one_bucket_width():
+    h = Histogram("lat")
+    for s in _SAMPLES:
+        if s <= 500.0:  # keep everything in finite buckets
+            h.observe(s)
+    finite = sorted(s for s in _SAMPLES if s <= 500.0)
+    for q in (10.0, 50.0, 90.0, 95.0, 99.0):
+        estimate = h.quantile(q)
+        # Nearest-rank (ceil) ground truth, same convention as the
+        # histogram's estimator.
+        rank = max(1, -(-int(len(finite) * q) // 100))
+        true_value = finite[rank - 1]
+        # The estimate is the upper edge of the true value's bucket:
+        # within one bucket width by construction.
+        idx = next(
+            i for i, b in enumerate(HISTOGRAM_BOUNDS) if true_value <= b
+        )
+        lower = HISTOGRAM_BOUNDS[idx - 1] if idx else 0.0
+        upper = HISTOGRAM_BOUNDS[idx]
+        assert lower < estimate <= upper, (q, estimate, true_value)
+        assert true_value <= estimate
+
+
+def test_histogram_reset_and_scalar_merge():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    h.observe(1.0)
+    reg.reset()
+    assert h.state()["count"] == 0
+    # A scalar arriving for an existing histogram name is treated as
+    # one observation, never a corruption of bucket state.
+    reg.merge({"lat": 0.25})
+    assert h.state()["count"] == 1
+
+
+def test_histogram_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")

@@ -1,0 +1,140 @@
+"""Prometheus text-format exposition: rendering and the strict parser."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    CONTENT_TYPE,
+    PromFormatError,
+    parse_prometheus_text,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("server.admission.shed_queue_full").add(3)
+    reg.gauge("harness.sim.rate").set(125000.5)
+    hist = reg.histogram("server.queue.wait_seconds")
+    for v in (0.002, 0.03, 0.03, 1.7, 400.0, 9999.0):
+        hist.observe(v)
+    return reg
+
+
+def test_content_type_declares_text_format_version():
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_sanitize_maps_dots_to_underscores():
+    assert sanitize_metric_name("server.queue.depth") == "server_queue_depth"
+    assert sanitize_metric_name("9bad") == "_9bad"
+
+
+def test_render_output_passes_the_strict_parser():
+    text = render_prometheus(
+        _registry(),
+        extra_gauges={"server.queue.depth": 4.0},
+        help_text={"server.queue.depth": "jobs waiting to run"},
+    )
+    families = parse_prometheus_text(text)
+    assert families["server_admission_shed_queue_full_total"]["type"] == (
+        "counter"
+    )
+    assert families["harness_sim_rate"]["type"] == "gauge"
+    assert families["server_queue_wait_seconds"]["type"] == "histogram"
+    assert families["server_queue_depth"]["type"] == "gauge"
+    assert "# HELP server_queue_depth jobs waiting to run" in text
+
+
+def test_counter_samples_get_total_suffix():
+    text = render_prometheus(_registry())
+    assert "server_admission_shed_queue_full_total 3" in text
+    assert "\nserver_admission_shed_queue_full 3" not in text
+
+
+def test_histogram_buckets_are_cumulative_and_inf_matches_count():
+    text = render_prometheus(_registry())
+    families = parse_prometheus_text(text)
+    samples = families["server_queue_wait_seconds"]["samples"]
+    buckets = [
+        (labels["le"], value)
+        for name, labels, value in samples
+        if name.endswith("_bucket")
+    ]
+    assert buckets[-1] == ("+Inf", 6.0)  # one 9999s outlier overflows
+    values = [v for _, v in buckets]
+    assert values == sorted(values)  # cumulative
+    count = next(
+        v for n, _, v in samples if n == "server_queue_wait_seconds_count"
+    )
+    assert count == 6.0
+    total = next(
+        v for n, _, v in samples if n == "server_queue_wait_seconds_sum"
+    )
+    assert total == pytest.approx(0.002 + 0.03 + 0.03 + 1.7 + 400.0 + 9999.0)
+
+
+def test_parser_rejects_bad_metric_and_label_names():
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text("# TYPE 9bad counter\n9bad_total 1\n")
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text('ok{9bad="x"} 1\n')
+
+
+def test_parser_rejects_histogram_without_type():
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text('orphan_bucket{le="+Inf"} 3\n')
+
+
+def test_parser_rejects_non_cumulative_buckets():
+    bad = (
+        "# TYPE h histogram\n"
+        '# HELP h h\n'
+        'h_bucket{le="1.0"} 5\n'
+        'h_bucket{le="2.0"} 3\n'  # decreased: not cumulative
+        'h_bucket{le="+Inf"} 5\n'
+        "h_sum 4.0\n"
+        "h_count 5\n"
+    )
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text(bad)
+
+
+def test_parser_rejects_missing_inf_bucket_and_count_mismatch():
+    no_inf = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1.0"} 5\n'
+        "h_sum 4.0\nh_count 5\n"
+    )
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text(no_inf)
+    mismatch = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1.0"} 5\n'
+        'h_bucket{le="+Inf"} 5\n'
+        "h_sum 4.0\nh_count 7\n"
+    )
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text(mismatch)
+
+
+def test_parser_rejects_duplicate_type_and_bad_values():
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text(
+            "# TYPE x gauge\n# TYPE x gauge\nx 1\n"
+        )
+    with pytest.raises(PromFormatError):
+        parse_prometheus_text("x one\n")
+
+
+def test_parser_accepts_special_float_values():
+    families = parse_prometheus_text("x +Inf\ny NaN\n")
+    assert families["x"]["samples"][0][2] == math.inf
+    assert math.isnan(families["y"]["samples"][0][2])
+
+
+def test_empty_registry_renders_and_parses():
+    assert parse_prometheus_text(render_prometheus(MetricsRegistry())) == {}

@@ -1,0 +1,170 @@
+"""Distributed trace-context propagation: minting, activation,
+header round-trips, the span recorder, and obs.Span integration."""
+
+import json
+import threading
+
+from repro import obs
+from repro.obs import tracectx
+from repro.obs.export import build_span_trace, validate_chrome_trace
+
+
+def setup_function(_fn):
+    tracectx.drain()  # the recorder is process-global: start clean
+
+
+def test_new_context_shapes_and_uniqueness():
+    a = tracectx.new_context()
+    b = tracectx.new_context()
+    assert len(a.trace_id) == 32 and len(a.span_id) == 16
+    assert int(a.trace_id, 16) != 0
+    assert a.trace_id != b.trace_id
+    child = a.child()
+    assert child.trace_id == a.trace_id
+    assert child.parent_span_id == a.span_id
+    assert child.span_id != a.span_id
+
+
+def test_activation_is_scoped_and_nested():
+    assert tracectx.current() is None
+    ctx = tracectx.new_context()
+    with tracectx.activate(ctx):
+        assert tracectx.current() is ctx
+        inner = ctx.child()
+        with tracectx.activate(inner):
+            assert tracectx.current() is inner
+        assert tracectx.current() is ctx
+    assert tracectx.current() is None
+    assert not tracectx.is_active()
+
+
+def test_activation_is_thread_local():
+    ctx = tracectx.new_context()
+    seen = {}
+
+    def probe():
+        seen["other"] = tracectx.current()
+
+    with tracectx.activate(ctx):
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+    assert seen["other"] is None
+
+
+def test_traceparent_roundtrip():
+    ctx = tracectx.new_context()
+    header = tracectx.format_traceparent(ctx)
+    assert header.startswith("00-")
+    back = tracectx.parse_traceparent(header)
+    assert back is not None
+    assert back.trace_id == ctx.trace_id
+    # The parsed context's span is the *remote caller's* span: spans
+    # minted from it become the caller's children.
+    assert back.span_id == ctx.span_id
+
+
+def test_traceparent_rejects_garbage():
+    for bad in (
+        None,
+        "",
+        "not-a-header",
+        "00-zz-zz-01",
+        "ff-" + "0" * 32 + "-" + "1" * 16 + "-01",  # version ff
+        "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # zero trace id
+        "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # zero span id
+    ):
+        assert tracectx.parse_traceparent(bad) is None, bad
+
+
+def test_encode_decode_roundtrip_is_json_safe():
+    ctx = tracectx.new_context().child()
+    encoded = tracectx.encode(ctx)
+    json.dumps(encoded)  # must survive a job payload / ledger record
+    back = tracectx.decode(encoded)
+    assert back.trace_id == ctx.trace_id
+    assert back.span_id == ctx.span_id
+    assert back.parent_span_id == ctx.parent_span_id
+    assert tracectx.encode(None) is None
+    assert tracectx.decode(None) is None
+    assert tracectx.decode({"nonsense": 1}) is None
+
+
+def test_start_finish_span_records_with_parentage():
+    root = tracectx.new_context()
+    with tracectx.activate(root):
+        token = tracectx.start_span("outer")
+        inner_token = tracectx.start_span("inner")
+        tracectx.finish_span("inner", inner_token)
+        tracectx.finish_span("outer", token, attrs={"k": 1})
+    spans = {s.name: s for s in tracectx.drain()}
+    assert spans["outer"].parent_span_id == root.span_id
+    assert spans["inner"].parent_span_id == spans["outer"].span_id
+    assert spans["outer"].attrs == {"k": 1}
+    assert spans["outer"].trace_id == root.trace_id
+
+
+def test_obs_span_records_only_under_active_context():
+    with obs.Span("untracked.work"):
+        pass
+    assert tracectx.drain() == []  # off-path: no context, no span
+    ctx = tracectx.new_context()
+    with tracectx.activate(ctx):
+        with obs.Span("tracked.work", cycles=7):
+            pass
+    spans = tracectx.drain()
+    assert [s.name for s in spans] == ["tracked.work"]
+    assert spans[0].attrs["cycles"] == 7
+    assert spans[0].attrs["span_path"] == "tracked.work"
+
+
+def test_ingest_dedups_on_trace_and_span_id():
+    ctx = tracectx.new_context()
+    record = tracectx.SpanRecord(
+        name="shipped", trace_id=ctx.trace_id, span_id=ctx.span_id,
+        parent_span_id=None, start_s=1.0, end_s=2.0,
+        process="worker", tid=1, attrs={},
+    )
+    assert tracectx.ingest([record.to_dict()]) == 1
+    # The same span arriving again (result payload re-polled) is a
+    # no-op, not a duplicate bar in the waterfall.
+    assert tracectx.ingest([record.to_dict()]) == 0
+    assert len(tracectx.drain()) == 1
+
+
+def test_take_extracts_only_the_requested_trace():
+    a, b = tracectx.new_context(), tracectx.new_context()
+    for ctx, name in ((a, "span.a"), (b, "span.b")):
+        tracectx.record_span(name, ctx.child(), 1.0, 2.0)
+    taken = tracectx.take(a.trace_id)
+    assert [s.name for s in taken] == ["span.a"]
+    left = tracectx.drain()
+    assert [s.name for s in left] == ["span.b"]
+
+
+def test_recorder_is_bounded():
+    ctx = tracectx.new_context()
+    for i in range(tracectx.MAX_RECORDED_SPANS + 100):
+        tracectx.record_span(f"s{i}", ctx.child(), 0.0, 1.0)
+    assert len(tracectx.drain()) == tracectx.MAX_RECORDED_SPANS
+
+
+def test_span_trace_export_validates():
+    tracectx.set_process_label("test-proc")
+    try:
+        root = tracectx.new_context()
+        with tracectx.activate(root):
+            with obs.Span("outer"):
+                with obs.Span("inner"):
+                    pass
+        doc = build_span_trace(tracectx.drain())
+        assert validate_chrome_trace(doc) == []
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert {e["name"] for e in slices} == {"outer", "inner"}
+        names = [
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e.get("name") == "process_name"
+        ]
+        assert names == ["test-proc"]
+    finally:
+        tracectx.set_process_label(None)

@@ -127,12 +127,18 @@ def test_submit_status_result_roundtrip(tmp_path):
 
 
 def test_health_metrics_stats_jobs(tmp_path):
+    from repro.obs import prom
+
     with _Server(tmp_path) as srv:
         assert srv.client.healthz().status == 200
         ready = srv.client.readyz()
         assert ready.status == 200 and ready.body["ready"] is True
         metrics = srv.client.metrics()
-        assert metrics.status == 200 and "counters" in metrics.body
+        assert metrics.status == 200
+        # /metrics is now the Prometheus text exposition, not JSON.
+        families = prom.parse_prometheus_text(metrics.text)
+        assert "server_queue_depth" in families
+        assert families["server_queue_depth"]["type"] == "gauge"
         stats = srv.client.stats()
         assert stats.status == 200
         assert stats.body["breakers"][0]["name"] == "pool"

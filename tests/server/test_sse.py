@@ -1,0 +1,127 @@
+"""Server-sent-event streaming: replay-then-tail ordering, resume via
+``Last-Event-ID``, and disconnect detection freeing the handler."""
+
+import threading
+import time
+import urllib.request
+
+from repro import obs
+from repro.server.app import _SSE_CLOSED, _SSE_OPENED, ExperimentServer
+from repro.server.client import ServerClient
+from repro.server.queue import JobQueue
+from repro.server.state import ServerState
+
+
+def _heartbeat(pct, eta=1.0):
+    obs.log_event(
+        "sim_heartbeat", level="debug", progress_pct=pct, eta_s=eta
+    )
+
+
+class _Server:
+    """In-process server whose runner emits scripted heartbeats."""
+
+    def __init__(self, tmp_path, runner, keepalive_s=0.1):
+        self.state = ServerState(str(tmp_path / "state"))
+        self.queue = JobQueue(self.state, runner=runner, workers=1)
+        self.server = ExperimentServer(self.queue, port=0)
+        self.server.sse_keepalive_s = keepalive_s
+        self.server.start(resume=False)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        self.client = ServerClient(self.server.url, timeout_s=10.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.server.shutdown_and_drain()
+        self._thread.join(timeout=10.0)
+
+
+def test_stream_replays_buffered_then_tails_live(tmp_path):
+    buffered = threading.Event()
+    release = threading.Event()
+
+    def runner(job):
+        for pct in (10.0, 20.0, 30.0):
+            _heartbeat(pct)
+        buffered.set()
+        release.wait(5.0)
+        for pct in (60.0, 90.0):
+            _heartbeat(pct)
+        return {"benchmark": job.benchmark}
+
+    with _Server(tmp_path, runner) as srv:
+        job_id = srv.client.submit({"benchmark": "gcc"}).body["job_id"]
+        assert buffered.wait(5.0)
+        # Release the runner shortly after the stream opens: the first
+        # three frames are ring replay, the last two arrive live.
+        threading.Timer(0.3, release.set).start()
+        frames = list(srv.client.stream_events(job_id, timeout_s=10.0))
+    heartbeats = [f for f in frames if f.get("event") == "sim_heartbeat"]
+    assert [int(f["id"]) for f in heartbeats] == [1, 2, 3, 4, 5]
+    assert [f["data"]["progress_pct"] for f in heartbeats] == [
+        10.0, 20.0, 30.0, 60.0, 90.0,
+    ]
+    assert frames[-1]["event"] == "end"
+    assert frames[-1]["data"]["state"] == "done"
+
+
+def test_last_event_id_resumes_without_duplicates(tmp_path):
+    def runner(job):
+        for pct in (10.0, 20.0, 30.0, 60.0, 90.0):
+            _heartbeat(pct)
+        return {"benchmark": job.benchmark}
+
+    with _Server(tmp_path, runner) as srv:
+        job_id = srv.client.submit({"benchmark": "gcc"}).body["job_id"]
+        srv.client.wait(job_id)
+        first = list(srv.client.stream_events(job_id, timeout_s=10.0))
+        beats = [f for f in first if f.get("event") == "sim_heartbeat"]
+        assert [int(f["id"]) for f in beats] == [1, 2, 3, 4, 5]
+        # Reconnect as if the client dropped after frame 3: only the
+        # frames past the cursor come back, none are replayed twice.
+        resumed = list(
+            srv.client.stream_events(
+                job_id, last_event_id="3", timeout_s=10.0
+            )
+        )
+        resumed_beats = [
+            f for f in resumed if f.get("event") == "sim_heartbeat"
+        ]
+        assert [int(f["id"]) for f in resumed_beats] == [4, 5]
+        assert resumed[-1]["event"] == "end"
+
+
+def test_unknown_job_stream_yields_nothing(tmp_path):
+    with _Server(tmp_path, lambda job: {"ok": True}) as srv:
+        assert list(srv.client.stream_events("job-999999")) == []
+
+
+def test_client_disconnect_frees_the_tail(tmp_path):
+    release = threading.Event()
+
+    def runner(job):
+        release.wait(10.0)
+        return {"benchmark": job.benchmark}
+
+    with _Server(tmp_path, runner, keepalive_s=0.05) as srv:
+        job_id = srv.client.submit({"benchmark": "gcc"}).body["job_id"]
+        opened = _SSE_OPENED.value
+        closed = _SSE_CLOSED.value
+        url = srv.server.url + f"/v1/experiments/{job_id}/events"
+        resp = urllib.request.urlopen(url, timeout=5.0)
+        assert resp.readline().startswith(b":")  # first keepalive probe
+        assert _SSE_OPENED.value == opened + 1
+        # Hang up without consuming the stream: the next keepalive
+        # write hits the dead socket and the handler thread exits.
+        resp.close()
+        deadline = time.monotonic() + 5.0
+        while _SSE_CLOSED.value < closed + 1:
+            assert time.monotonic() < deadline, "tail thread never freed"
+            time.sleep(0.02)
+        release.set()
+        srv.client.wait(job_id)

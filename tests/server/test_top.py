@@ -1,0 +1,134 @@
+"""The ``repro top`` dashboard: pure frame rendering and one polled
+frame against a live in-process server."""
+
+import io
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import render_prometheus
+from repro.server.app import ExperimentServer
+from repro.server.queue import JobQueue
+from repro.server.state import ServerState
+from repro.server.top import render_frame, run_top
+
+_STATS = {
+    "queued_depth": 3,
+    "running": 2,
+    "draining": False,
+    "jobs": {"queued": 3, "running": 2, "done": 7},
+    "admission": {
+        "p95_service_s": 1.5,
+        "observed_completions": 7,
+        "max_queue_depth": 64,
+        "workers": 2,
+    },
+    "breakers": [
+        {
+            "name": "pool",
+            "state": "closed",
+            "consecutive_failures": 0,
+            "failure_threshold": 5,
+        },
+        {
+            "name": "simcache",
+            "state": "open",
+            "consecutive_failures": 5,
+            "failure_threshold": 5,
+        },
+    ],
+}
+
+
+def _metrics_text():
+    reg = MetricsRegistry()
+    hist = reg.histogram("server.queue.wait_seconds")
+    for v in (0.002, 0.004, 0.02, 0.02, 0.11, 4.0):
+        hist.observe(v)
+    return render_prometheus(reg)
+
+
+def test_render_frame_shows_queue_breakers_and_phases():
+    jobs = [
+        {
+            "job_id": "job-000001",
+            "state": "running",
+            "submitted_at": 100.0,
+            "trace_id": "abcdef0123456789abcdef0123456789",
+            "events": [
+                {"progress_pct": 42.5, "eta_s": 7.2},
+            ],
+        },
+        {
+            "job_id": "job-000002",
+            "state": "queued",
+            "submitted_at": 101.0,
+            "events": [],
+        },
+    ]
+    frame = render_frame(
+        _STATS, jobs, _metrics_text(), url="http://127.0.0.1:8080"
+    )
+    assert "repro top -- http://127.0.0.1:8080" in frame
+    assert "queue: depth=3 running=2 draining=False" in frame
+    assert "done=7 queued=3 running=2" in frame
+    assert "pool=closed (fails=0/5)" in frame
+    assert "simcache=open (fails=5/5)" in frame
+    assert "phase latency" in frame
+    assert "queue wait" in frame and "n=6" in frame
+    # Newest job first; progress/ETA from the last buffered event; the
+    # trace id column is truncated for width.
+    lines = frame.splitlines()
+    row1 = next(l for l in lines if l.startswith("job-000001"))
+    assert "running" in row1 and "42.5%" in row1 and "7s" in row1
+    assert "abcdef0123456789" in row1
+    row2 = next(l for l in lines if l.startswith("job-000002"))
+    assert "queued" in row2 and " - " in row2
+    assert lines.index(row2) < lines.index(row1)  # newest first
+
+
+def test_render_frame_tolerates_empty_and_malformed_inputs():
+    frame = render_frame({}, [], "")
+    assert "(no jobs)" in frame
+    assert "jobs: none" in frame
+    # A malformed /metrics body degrades to "no phase section", never a
+    # crash mid-redraw.
+    frame = render_frame({}, [], "### not prometheus {{{")
+    assert "phase latency" not in frame
+    frame = render_frame(
+        {}, [{"job_id": "j", "events": [{"eta_s": "soon"}]}], ""
+    )
+    assert " - " in frame  # unparsable ETA renders as a dash
+
+
+def test_run_top_once_against_live_server(tmp_path):
+    state = ServerState(str(tmp_path / "state"))
+    queue = JobQueue(
+        state, runner=lambda job: {"benchmark": job.benchmark}, workers=1
+    )
+    server = ExperimentServer(queue, port=0)
+    server.start(resume=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        from repro.server.client import ServerClient
+
+        client = ServerClient(server.url, timeout_s=10.0)
+        job_id = client.submit({"benchmark": "gcc"}).body["job_id"]
+        client.wait(job_id)
+        out = io.StringIO()
+        code = run_top(server.url, iterations=1, out=out)
+        assert code == 0
+        frame = out.getvalue()
+        assert "repro top" in frame
+        assert "job-000001" in frame
+        assert "\x1b[2J" not in frame  # --once never clears the screen
+    finally:
+        server.shutdown_and_drain()
+        thread.join(timeout=10.0)
+
+
+def test_run_top_unreachable_server_exits_nonzero():
+    out = io.StringIO()
+    code = run_top("http://127.0.0.1:1", iterations=1, out=out)
+    assert code == 1
+    assert "cannot reach" in out.getvalue()

@@ -1,0 +1,125 @@
+"""End-to-end distributed tracing: one trace id from the client's HTTP
+span through admission, queue wait, and the engine's per-phase spans,
+exportable as a single Chrome trace."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import tracectx
+from repro.obs.export import build_span_trace, validate_chrome_trace
+from repro.server.app import ExperimentServer
+from repro.server.client import ServerClient
+from repro.server.queue import JobQueue
+from repro.server.state import ServerState
+
+
+@pytest.fixture
+def srv(tmp_path):
+    state = ServerState(str(tmp_path / "state"))
+    queue = JobQueue(state, workers=1)  # default runner: the real engine
+    server = ExperimentServer(queue, port=0)
+    server.start(resume=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServerClient(server.url, timeout_s=30.0)
+    server.shutdown_and_drain()
+    thread.join(timeout=10.0)
+
+
+def _ancestors(span, by_id):
+    seen = []
+    parent = span.parent_span_id
+    while parent is not None and parent in by_id:
+        seen.append(by_id[parent])
+        parent = by_id[parent].parent_span_id
+    return seen
+
+
+def test_one_trace_spans_client_server_and_engine(srv, tmp_path):
+    tracectx.drain()
+    root = tracectx.new_context()
+    with tracectx.activate(root):
+        submit = srv.submit({"benchmark": "gcc", "target": "L"})
+        assert submit.status == 202
+        assert submit.body["trace_id"] == root.trace_id
+        final = srv.wait(submit.body["job_id"])
+    assert final.status == 200
+    assert final.body["trace_id"] == root.trace_id
+
+    spans = tracectx.drain()
+    names = {s.name for s in spans}
+    # Client HTTP spans + server queue spans + engine phase spans, all
+    # in the root's trace.
+    assert {s.trace_id for s in spans} == {root.trace_id}
+    assert "http POST /v1/experiments" in names
+    assert "admission" in names
+    assert "queue.wait" in names
+    assert "job" in names
+    assert "experiment" in names
+    assert "simulate" in names
+
+    by_id = {s.span_id: s for s in spans}
+    post = next(s for s in spans if s.name == "http POST /v1/experiments")
+    sim = next(s for s in spans if s.name == "simulate")
+    # The client's POST span is an ancestor of the engine's sim span:
+    # the lineage crossed the HTTP boundary intact.  (Both descend from
+    # the root; the POST span *minted* the traceparent the server saw.)
+    sim_line = _ancestors(sim, by_id)
+    assert any(a.span_id == post.parent_span_id for a in sim_line) or (
+        root.span_id == post.parent_span_id
+        and any(a.parent_span_id == root.span_id for a in sim_line)
+    )
+    exp = next(s for s in spans if s.name == "experiment")
+    assert exp.parent_span_id is not None
+    assert any(a.name == "job" for a in _ancestors(exp, by_id))
+
+    doc = build_span_trace(spans)
+    assert validate_chrome_trace(doc) == []
+
+
+def test_untraced_submit_carries_no_trace(srv):
+    tracectx.drain()
+    assert tracectx.current() is None
+    submit = srv.submit({"benchmark": "gcc", "target": "L"})
+    assert submit.status == 202
+    assert "trace_id" not in submit.body
+    final = srv.wait(submit.body["job_id"])
+    assert final.status == 200
+    assert "trace_id" not in final.body
+    assert "spans" not in final.body
+    # Nothing leaked into the recorder from the untraced path.
+    assert tracectx.drain() == []
+
+
+def test_result_repoll_does_not_duplicate_spans(srv):
+    tracectx.drain()
+    root = tracectx.new_context()
+    with tracectx.activate(root):
+        submit = srv.submit({"benchmark": "gcc", "target": "L"})
+        job_id = submit.body["job_id"]
+        srv.wait(job_id)
+        before = tracectx.span_count()
+        srv.result(job_id)  # terminal payload ships the same spans again
+        srv.result(job_id)
+        after = tracectx.span_count()
+    # Each re-poll adds exactly one local HTTP span; the shipped server
+    # spans dedup on (trace_id, span_id).
+    assert after == before + 2
+    tracectx.drain()
+
+
+def test_queue_wait_span_brackets_the_job(srv):
+    tracectx.drain()
+    root = tracectx.new_context()
+    with tracectx.activate(root):
+        submit = srv.submit({"benchmark": "gcc", "target": "L"})
+        srv.wait(submit.body["job_id"])
+    spans = tracectx.drain()
+    wait = next(s for s in spans if s.name == "queue.wait")
+    job = next(s for s in spans if s.name == "job")
+    assert wait.attrs["job_id"] == submit.body["job_id"]
+    assert wait.start_s == pytest.approx(job.start_s)
+    assert wait.end_s <= job.end_s + 1e-6
+    assert job.end_s <= time.time()
